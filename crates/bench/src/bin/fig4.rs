@@ -1,0 +1,44 @@
+//! Figure 4: relative system throughput when *strictly* persisting all
+//! security metadata (counters + MACs + full BMT) versus a baseline
+//! that persists none.
+//!
+//! Paper headline: most workloads degrade severely; worst case ≈ 9.4×
+//! slowdown, average ≈ 2.2×.
+//!
+//! Usage: `cargo run -p triad-bench --release --bin fig4`
+//! (`TRIAD_OPS=<n>` overrides the per-core op budget).
+
+use triad_bench::{default_ops, geomean, print_header, run_one};
+use triad_core::PersistScheme;
+use triad_workloads::all_figure_workloads;
+
+fn main() {
+    let ops = default_ops();
+    println!("Figure 4 — throughput of Strict persistence relative to no metadata persistence");
+    println!("({ops} memory ops per core)\n");
+    print_header(
+        "workload",
+        &["baseline".into(), "strict".into(), "relative".into()],
+    );
+    let mut rels = Vec::new();
+    for w in all_figure_workloads() {
+        let base = run_one(w, PersistScheme::WriteBack, ops, 42);
+        let strict = run_one(w, PersistScheme::Strict, ops, 42);
+        let rel = strict.throughput / base.throughput;
+        rels.push(rel);
+        println!(
+            "{w:<12} {:>12.3e} {:>12.3e} {:>12.3}",
+            base.throughput, strict.throughput, rel
+        );
+    }
+    let gm = geomean(&rels);
+    println!(
+        "\ngeomean relative throughput: {gm:.3}  (paper: avg slowdown ≈ 2.2×, i.e. ≈ {:.3})",
+        1.0 / 2.2
+    );
+    let worst = rels.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "worst-case slowdown: {:.1}×  (paper: up to 9.4×)",
+        1.0 / worst
+    );
+}

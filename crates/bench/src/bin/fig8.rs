@@ -1,0 +1,42 @@
+//! Figure 8: throughput under each Merkle-tree persistence model,
+//! normalised to the no-metadata-persistence baseline.
+//!
+//! Paper headline: Strict ≈ 2.2× average slowdown; TriadNVM-1/2/3 cost
+//! only ≈ 4.9 % / 10.1 % / 15.6 %.
+//!
+//! Usage: `cargo run -p triad-bench --release --bin fig8`
+
+use triad_bench::{default_ops, geomean, print_header, run_one};
+use triad_core::PersistScheme;
+use triad_workloads::all_figure_workloads;
+
+fn main() {
+    let ops = default_ops();
+    let schemes = PersistScheme::evaluated();
+    println!("Figure 8 — normalised throughput per persistence scheme");
+    println!("({ops} memory ops per core; baseline = WriteBack = 1.0)\n");
+    let cols: Vec<String> = schemes.iter().map(|s| s.to_string()).collect();
+    print_header("workload", &cols);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in all_figure_workloads() {
+        let base = run_one(w, PersistScheme::WriteBack, ops, 42).throughput;
+        print!("{w:<12}");
+        for (i, s) in schemes.iter().enumerate() {
+            let rel = if *s == PersistScheme::WriteBack {
+                1.0
+            } else {
+                run_one(w, *s, ops, 42).throughput / base
+            };
+            per_scheme[i].push(rel);
+            print!(" {rel:>12.3}");
+        }
+        println!();
+    }
+    println!();
+    print!("{:<12}", "geomean");
+    for rels in &per_scheme {
+        print!(" {:>12.3}", geomean(rels));
+    }
+    println!();
+    println!("\npaper: Strict ≈ 1/2.2 = 0.455; TriadNVM-1 ≈ 0.953, -2 ≈ 0.908, -3 ≈ 0.865");
+}

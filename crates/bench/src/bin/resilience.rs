@@ -1,0 +1,71 @@
+//! §5.2 resilience (in-text claims, table-ised): how precisely each
+//! scheme can pinpoint uncorrectable metadata corruption at recovery,
+//! and how much data it must declare unverifiable.
+//!
+//! Paper claims: TriadNVM-2 isolates a corrupt node to 32 KB; with
+//! only counters persisted, a corrupt counter costs up to 1/8 of the
+//! region (one root slot's subtree).
+//!
+//! Usage: `cargo run -p triad-bench --release --bin resilience`
+
+use triad_core::{PersistScheme, SecureMemoryBuilder};
+use triad_sim::config::SystemConfig;
+use triad_sim::PhysAddr;
+
+fn main() {
+    let mut cfg = SystemConfig::isca19();
+    cfg.mem.capacity_bytes = 256 << 20;
+    println!("Resilience — unverifiable data after one corrupt metadata block\n");
+    println!(
+        "{:<12} {:>18} {:>18} {:>14}",
+        "scheme", "corrupt block", "unverifiable", "recovered?"
+    );
+    println!("{}", "-".repeat(66));
+
+    for (scheme, what) in [
+        (PersistScheme::triad_nvm(1), "counter"),
+        (PersistScheme::triad_nvm(2), "counter"),
+        (PersistScheme::triad_nvm(2), "L1 node"),
+        (PersistScheme::triad_nvm(2), "counter+L1"),
+        (PersistScheme::triad_nvm(3), "counter+L1"),
+    ] {
+        let mut mem = SecureMemoryBuilder::new()
+            .config(cfg)
+            .scheme(scheme)
+            .build()
+            .expect("valid config");
+        let p = mem.persistent_region().start();
+        // Persist a few pages so there is real state to protect.
+        for i in 0..64u64 {
+            let a = PhysAddr(p.0 + i * 4096);
+            mem.write(a, &i.to_le_bytes()).expect("write");
+            mem.persist(a).expect("persist");
+        }
+        mem.crash();
+        let layout = mem.memory_map().persistent().clone();
+        let mut mask = [0u8; 64];
+        mask[20] = 0xFF;
+        if what.contains("counter") {
+            mem.nvm_image_mut()
+                .tamper(layout.counter_block_of(p.block()), mask);
+        }
+        if what.contains("L1") {
+            mem.nvm_image_mut()
+                .tamper(layout.bmt_node_addr(1, 0).expect("L1 exists"), mask);
+        }
+        let report = mem.recover().expect("recovery runs");
+        let unverifiable: u64 = report.unverifiable.iter().map(|r| r.bytes).sum();
+        println!(
+            "{:<12} {:>18} {:>15} KiB {:>14}",
+            scheme.to_string(),
+            what,
+            unverifiable / 1024,
+            if report.persistent_recovered {
+                "yes"
+            } else {
+                "no"
+            }
+        );
+    }
+    println!("\npaper: TriadNVM-2 pinpoints to 32 KB; counters-only risks 1/8 of the region");
+}

@@ -1,0 +1,69 @@
+//! Multi-core scaling study: how contention on the shared L3,
+//! metadata caches, banks and WPQ changes the cost of metadata
+//! persistence as more cores run the same persistent workload
+//! (the Table 1 system is 8-core; the paper's mixes stop at 4).
+//!
+//! Usage: `cargo run -p triad-bench --release --bin scaling`
+
+use triad_bench::harness_config;
+use triad_core::{PersistScheme, SecureMemoryBuilder, System};
+use triad_sim::trace::TraceSource;
+use triad_sim::PhysAddr;
+use triad_workloads::traces::{PmdkKind, PmdkTrace};
+use triad_workloads::WorkloadEnv;
+
+fn main() {
+    let ops: u64 = 60_000;
+    println!("Scaling — N cores × hashtable ({ops} ops/core)\n");
+    println!(
+        "{:<7} {:>14} {:>14} {:>14} {:>12}",
+        "cores", "WriteBack", "TriadNVM-2", "relative", "p99 (ns)"
+    );
+    println!("{}", "-".repeat(66));
+    for cores in [1usize, 2, 4, 8] {
+        let mut results = Vec::new();
+        let mut p99 = 0;
+        for scheme in [PersistScheme::WriteBack, PersistScheme::triad_nvm(2)] {
+            let mem = SecureMemoryBuilder::new()
+                .config(harness_config())
+                .scheme(scheme)
+                .build()
+                .expect("valid config");
+            let env = WorkloadEnv::of(&mem);
+            // One private persistent lane per core, all hammering the
+            // shared uncore simultaneously.
+            let traces: Vec<Box<dyn TraceSource>> = (0..cores)
+                .map(|i| {
+                    let lane = env.persistent_bytes / 8 / 64 * 64;
+                    let base = PhysAddr(env.persistent_base.0 + i as u64 * lane);
+                    Box::new(PmdkTrace::new(
+                        PmdkKind::Hashtable,
+                        base,
+                        lane / 64,
+                        42 + i as u64,
+                    )) as Box<dyn TraceSource>
+                })
+                .collect();
+            let mut sys = System::new(mem, traces);
+            let r = sys.run(ops).expect("clean run");
+            results.push(r.throughput());
+            if scheme != PersistScheme::WriteBack {
+                let mut h = triad_sim::stats::Histogram::new();
+                for c in &r.cores {
+                    h.merge(&c.latency_ns);
+                }
+                p99 = h.percentile(99.0);
+            }
+        }
+        println!(
+            "{cores:<7} {:>14.3e} {:>14.3e} {:>14.3} {:>12}",
+            results[0],
+            results[1],
+            results[1] / results[0],
+            p99
+        );
+    }
+    println!(
+        "\n(more cores → more WPQ/bank contention → metadata persistence costs relatively more)"
+    );
+}

@@ -1,0 +1,33 @@
+//! Quick spot-check of scheme ratios (not a figure; for calibration).
+use triad_bench::run_one;
+use triad_core::PersistScheme;
+
+fn main() {
+    for w in [
+        "libquantum",
+        "lbm",
+        "mcf",
+        "sjeng",
+        "hashtable",
+        "queue",
+        "arrayswap",
+        "daxbench1",
+        "mix1",
+    ] {
+        let base = run_one(w, PersistScheme::WriteBack, 400_000, 42);
+        let strict = run_one(w, PersistScheme::Strict, 400_000, 42);
+        let t1 = run_one(w, PersistScheme::triad_nvm(1), 400_000, 42);
+        let t2 = run_one(w, PersistScheme::triad_nvm(2), 400_000, 42);
+        let t3 = run_one(w, PersistScheme::triad_nvm(3), 400_000, 42);
+        println!(
+            "{w:<12} strict={:.3} t1={:.3} t2={:.3} t3={:.3} | writes base={} strict={} t1={}",
+            strict.throughput / base.throughput,
+            t1.throughput / base.throughput,
+            t2.throughput / base.throughput,
+            t3.throughput / base.throughput,
+            base.nvm_writes,
+            strict.nvm_writes,
+            t1.nvm_writes
+        );
+    }
+}

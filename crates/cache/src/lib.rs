@@ -1,0 +1,471 @@
+//! Set-associative cache models for the Triad-NVM simulator.
+//!
+//! A [`Cache`] tracks *presence and dirtiness* of 64-byte blocks — the
+//! authoritative data always lives in the functional backing store (or,
+//! for security metadata, in the metadata stores of `triad-core`).
+//! This split keeps the timing model honest (hits, misses, evictions
+//! and write-backs all happen exactly where a hardware cache would
+//! produce them) without duplicating data movement.
+//!
+//! The same type models every array in Table 1: the per-core L1/L2, the
+//! shared L3, the 128 KB counter cache and the 128 KB Merkle-tree cache.
+//!
+//! # Example
+//!
+//! ```rust
+//! use triad_cache::{Cache, Replacement};
+//! use triad_sim::config::CacheConfig;
+//! use triad_sim::BlockAddr;
+//!
+//! let mut l1 = Cache::new("l1", CacheConfig::new(1024, 2, 2), Replacement::Lru);
+//! let first = l1.access(BlockAddr(0), false);
+//! assert!(!first.hit);
+//! let again = l1.access(BlockAddr(0), false);
+//! assert!(again.hit);
+//! ```
+
+#![warn(missing_docs)]
+
+use triad_sim::config::CacheConfig;
+use triad_sim::rng::SplitMix64;
+use triad_sim::stats::{StatSet, StatSink};
+use triad_sim::time::Duration;
+use triad_sim::BlockAddr;
+
+/// Replacement policy for a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used (default for all Table 1 caches).
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Pseudo-random (seeded, deterministic).
+    Random,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (access order) or FIFO fill order.
+    stamp: u64,
+}
+
+/// A block evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Address of the evicted block.
+    pub addr: BlockAddr,
+    /// Whether it was dirty (must be written back downstream).
+    pub dirty: bool,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the block was already present.
+    pub hit: bool,
+    /// Block evicted by the fill (only on misses in full sets).
+    pub victim: Option<Victim>,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Evictions performed (any cleanliness).
+    pub evictions: u64,
+    /// Evictions of dirty blocks (write-backs generated).
+    pub dirty_evictions: u64,
+    /// Explicit flushes of dirty blocks (clwb traffic).
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            (self.read_hits + self.write_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// A write-back, write-allocate set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: String,
+    sets: usize,
+    ways: usize,
+    latency: Duration,
+    policy: Replacement,
+    lines: Vec<Line>,
+    clock: u64,
+    rng: SplitMix64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry and replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured size is not an exact number of sets
+    /// (see [`CacheConfig::sets`]).
+    pub fn new(name: impl Into<String>, config: CacheConfig, policy: Replacement) -> Self {
+        let sets = config.sets();
+        let name = name.into();
+        let seed = name
+            .bytes()
+            .fold(0xC0FF_EE00u64, |acc, b| acc.rotate_left(7) ^ b as u64);
+        Cache {
+            name,
+            sets,
+            ways: config.ways,
+            latency: config.latency,
+            policy,
+            lines: vec![Line::default(); sets * config.ways],
+            clock: 0,
+            rng: SplitMix64::new(seed),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configured hit latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// The cache's name (as given at construction).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.0 % self.sets as u64) as usize
+    }
+
+    fn set_lines(&mut self, set: usize) -> &mut [Line] {
+        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Accesses `block`; on a miss the block is allocated, possibly
+    /// evicting a victim which the caller must handle (write back if
+    /// dirty). `write` marks the block dirty.
+    pub fn access(&mut self, block: BlockAddr, write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(block);
+        let policy = self.policy;
+        let ways = self.ways;
+        // Probe for a hit.
+        let lines = self.set_lines(set);
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == block.0) {
+            if policy == Replacement::Lru {
+                line.stamp = clock;
+            }
+            line.dirty |= write;
+            if write {
+                self.stats.write_hits += 1;
+            } else {
+                self.stats.read_hits += 1;
+            }
+            return AccessOutcome {
+                hit: true,
+                victim: None,
+            };
+        }
+        // Miss: pick a victim way.
+        let way = {
+            let lines = self.set_lines(set);
+            match lines.iter().position(|l| !l.valid) {
+                Some(free) => free,
+                None => match policy {
+                    Replacement::Lru | Replacement::Fifo => lines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.stamp)
+                        .map(|(i, _)| i)
+                        .expect("ways >= 1"),
+                    Replacement::Random => self.rng.below(ways as u64) as usize,
+                },
+            }
+        };
+        let line = &mut self.set_lines(set)[way];
+        let victim = if line.valid {
+            Some(Victim {
+                addr: BlockAddr(line.tag),
+                dirty: line.dirty,
+            })
+        } else {
+            None
+        };
+        *line = Line {
+            tag: block.0,
+            valid: true,
+            dirty: write,
+            stamp: clock,
+        };
+        if write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        if let Some(v) = victim {
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+        }
+        AccessOutcome { hit: false, victim }
+    }
+
+    /// Whether `block` is present, without disturbing replacement state
+    /// or statistics.
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == block.0)
+    }
+
+    /// Whether `block` is present *and dirty*.
+    pub fn probe_dirty(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == block.0 && l.dirty)
+    }
+
+    /// Writes back `block` if present and dirty (clwb semantics: the
+    /// line stays valid but becomes clean). Returns whether a
+    /// write-back was generated.
+    pub fn flush(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        for l in self.set_lines(set) {
+            if l.valid && l.tag == block.0 && l.dirty {
+                l.dirty = false;
+                self.stats.flushes += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates `block` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
+        let set = self.set_of(block);
+        for l in self.set_lines(set) {
+            if l.valid && l.tag == block.0 {
+                let dirty = l.dirty;
+                *l = Line::default();
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Drops every line (a power loss: volatile contents vanish).
+    /// Dirty lines are *lost*, not written back — that is the point of
+    /// the paper's crash experiments.
+    pub fn lose_all(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+
+    /// Returns all dirty blocks (used by orderly shutdown and by tests).
+    pub fn dirty_blocks(&self) -> Vec<BlockAddr> {
+        self.lines
+            .iter()
+            .filter(|l| l.valid && l.dirty)
+            .map(|l| BlockAddr(l.tag))
+            .collect()
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+impl StatSink for Cache {
+    fn report(&self, prefix: &str, out: &mut StatSet) {
+        let s = &self.stats;
+        out.set(format!("{prefix}read_hits"), s.read_hits);
+        out.set(format!("{prefix}read_misses"), s.read_misses);
+        out.set(format!("{prefix}write_hits"), s.write_hits);
+        out.set(format!("{prefix}write_misses"), s.write_misses);
+        out.set(format!("{prefix}evictions"), s.evictions);
+        out.set(format!("{prefix}dirty_evictions"), s.dirty_evictions);
+        out.set(format!("{prefix}flushes"), s.flushes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize) -> Cache {
+        // 4 sets × `ways` ways.
+        Cache::new(
+            "t",
+            CacheConfig::new(4 * ways * 64, ways, 1),
+            Replacement::Lru,
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(2);
+        assert!(!c.access(BlockAddr(0), false).hit);
+        assert!(c.access(BlockAddr(0), false).hit);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = tiny(1); // direct-mapped, 4 sets
+        c.access(BlockAddr(0), true);
+        assert!(c.probe_dirty(BlockAddr(0)));
+        // Block 4 maps to the same set in a 4-set cache.
+        let out = c.access(BlockAddr(4), false);
+        assert!(!out.hit);
+        assert_eq!(
+            out.victim,
+            Some(Victim {
+                addr: BlockAddr(0),
+                dirty: true
+            })
+        );
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2);
+        c.access(BlockAddr(0), false); // set 0
+        c.access(BlockAddr(4), false); // set 0
+        c.access(BlockAddr(0), false); // touch 0 again
+        let out = c.access(BlockAddr(8), false); // set 0, evict 4
+        assert_eq!(out.victim.unwrap().addr, BlockAddr(4));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut c = Cache::new("f", CacheConfig::new(2 * 64, 2, 1), Replacement::Fifo);
+        c.access(BlockAddr(0), false);
+        c.access(BlockAddr(1), false);
+        c.access(BlockAddr(0), false); // touch does not refresh FIFO order
+        let out = c.access(BlockAddr(2), false);
+        assert_eq!(out.victim.unwrap().addr, BlockAddr(0));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_name() {
+        let mk = || {
+            let mut c = Cache::new("r", CacheConfig::new(2 * 64, 2, 1), Replacement::Random);
+            c.access(BlockAddr(0), false);
+            c.access(BlockAddr(1), false);
+            c.access(BlockAddr(2), false).victim.unwrap().addr
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn flush_cleans_but_keeps_line() {
+        let mut c = tiny(2);
+        c.access(BlockAddr(0), true);
+        assert!(c.flush(BlockAddr(0)));
+        assert!(c.probe(BlockAddr(0)));
+        assert!(!c.probe_dirty(BlockAddr(0)));
+        assert!(!c.flush(BlockAddr(0)), "second flush is a no-op");
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny(2);
+        c.access(BlockAddr(0), true);
+        c.access(BlockAddr(1), false);
+        assert_eq!(c.invalidate(BlockAddr(0)), Some(true));
+        assert_eq!(c.invalidate(BlockAddr(1)), Some(false));
+        assert_eq!(c.invalidate(BlockAddr(2)), None);
+        assert!(!c.probe(BlockAddr(0)));
+    }
+
+    #[test]
+    fn lose_all_drops_dirty_data() {
+        let mut c = tiny(2);
+        c.access(BlockAddr(0), true);
+        c.access(BlockAddr(9), true);
+        assert_eq!(c.dirty_blocks().len(), 2);
+        c.lose_all();
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.dirty_blocks().is_empty());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = tiny(2);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(BlockAddr(0), false);
+        c.access(BlockAddr(0), false);
+        c.access(BlockAddr(0), true);
+        c.access(BlockAddr(0), true);
+        assert!((c.stats().hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(c.stats().accesses(), 4);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn stat_sink_reports_prefixed() {
+        let mut c = tiny(2);
+        c.access(BlockAddr(0), false);
+        let mut out = StatSet::new();
+        c.report("l1.", &mut out);
+        assert_eq!(out.get("l1.read_misses"), 1);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = tiny(2); // 8 lines total
+        for i in 0..100 {
+            c.access(BlockAddr(i), false);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn latency_and_name_accessors() {
+        let c = tiny(2);
+        assert_eq!(c.latency(), Duration::from_cpu_cycles(1));
+        assert_eq!(c.name(), "t");
+    }
+}

@@ -1,0 +1,143 @@
+//! Model-based property tests: the set-associative cache against a
+//! simple per-set reference model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use triad_cache::{Cache, Replacement};
+use triad_sim::config::CacheConfig;
+use triad_sim::BlockAddr;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { addr: u64, write: bool },
+    Flush { addr: u64 },
+    Invalidate { addr: u64 },
+}
+
+fn op_strategy(addr_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0..addr_space, any::<bool>()).prop_map(|(addr, write)| Op::Access { addr, write }),
+        1 => (0..addr_space).prop_map(|addr| Op::Flush { addr }),
+        1 => (0..addr_space).prop_map(|addr| Op::Invalidate { addr }),
+    ]
+}
+
+/// Reference model: per-set LRU list of (tag, dirty).
+#[derive(Debug, Default, Clone)]
+struct ModelSet {
+    /// Most-recent last.
+    lines: Vec<(u64, bool)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lru_cache_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(64), 1..400),
+        ways in 1usize..4,
+    ) {
+        let sets = 4usize;
+        let mut cache = Cache::new(
+            "m",
+            CacheConfig::new(sets * ways * 64, ways, 1),
+            Replacement::Lru,
+        );
+        let mut model: HashMap<usize, ModelSet> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Access { addr, write } => {
+                    let out = cache.access(BlockAddr(addr), write);
+                    let set = model.entry(addr as usize % sets).or_default();
+                    let pos = set.lines.iter().position(|(t, _)| *t == addr);
+                    // Hit/miss agreement.
+                    prop_assert_eq!(out.hit, pos.is_some(), "addr {}", addr);
+                    match pos {
+                        Some(i) => {
+                            let (t, d) = set.lines.remove(i);
+                            set.lines.push((t, d || write));
+                            prop_assert_eq!(out.victim, None);
+                        }
+                        None => {
+                            if set.lines.len() == ways {
+                                let (vt, vd) = set.lines.remove(0);
+                                let v = out.victim.expect("model expects a victim");
+                                prop_assert_eq!(v.addr, BlockAddr(vt));
+                                prop_assert_eq!(v.dirty, vd);
+                            } else {
+                                prop_assert_eq!(out.victim, None);
+                            }
+                            set.lines.push((addr, write));
+                        }
+                    }
+                }
+                Op::Flush { addr } => {
+                    let flushed = cache.flush(BlockAddr(addr));
+                    let set = model.entry(addr as usize % sets).or_default();
+                    let model_flushed = set
+                        .lines
+                        .iter_mut()
+                        .find(|(t, d)| *t == addr && *d)
+                        .map(|entry| {
+                            entry.1 = false;
+                        })
+                        .is_some();
+                    prop_assert_eq!(flushed, model_flushed);
+                }
+                Op::Invalidate { addr } => {
+                    let inv = cache.invalidate(BlockAddr(addr));
+                    let set = model.entry(addr as usize % sets).or_default();
+                    let pos = set.lines.iter().position(|(t, _)| *t == addr);
+                    match pos {
+                        Some(i) => {
+                            let (_, d) = set.lines.remove(i);
+                            prop_assert_eq!(inv, Some(d));
+                        }
+                        None => prop_assert_eq!(inv, None),
+                    }
+                }
+            }
+            // Global invariants after every step.
+            let model_occupancy: usize = model.values().map(|s| s.lines.len()).sum();
+            prop_assert_eq!(cache.occupancy(), model_occupancy);
+            let mut model_dirty: Vec<u64> = model
+                .values()
+                .flat_map(|s| s.lines.iter().filter(|(_, d)| *d).map(|(t, _)| *t))
+                .collect();
+            model_dirty.sort_unstable();
+            let mut cache_dirty: Vec<u64> =
+                cache.dirty_blocks().iter().map(|b| b.0).collect();
+            cache_dirty.sort_unstable();
+            prop_assert_eq!(cache_dirty, model_dirty);
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        addrs in prop::collection::vec(0u64..10_000, 1..500),
+    ) {
+        let mut cache = Cache::new("c", CacheConfig::new(16 * 64, 4, 1), Replacement::Lru);
+        for a in addrs {
+            cache.access(BlockAddr(a), a % 3 == 0);
+            prop_assert!(cache.occupancy() <= 16);
+        }
+    }
+
+    #[test]
+    fn every_dirty_block_was_written(
+        ops in prop::collection::vec((0u64..128, any::<bool>()), 1..300),
+    ) {
+        let mut cache = Cache::new("d", CacheConfig::new(8 * 64, 2, 1), Replacement::Lru);
+        let mut written = std::collections::HashSet::new();
+        for (addr, write) in ops {
+            cache.access(BlockAddr(addr), write);
+            if write {
+                written.insert(addr);
+            }
+        }
+        for b in cache.dirty_blocks() {
+            prop_assert!(written.contains(&b.0), "dirty block {} never written", b.0);
+        }
+    }
+}

@@ -1,0 +1,1817 @@
+//! The Triad-NVM secure memory controller.
+//!
+//! [`SecureMemory`] models everything below the private caches: the
+//! shared L3, the counter cache, the Merkle-tree cache (which also
+//! holds MAC blocks), the encryption/MAC engines, the two per-region
+//! Bonsai Merkle Trees, the persistent register file, and the NVM
+//! memory controller with its ADR write-pending queue.
+//!
+//! ## Functional model
+//!
+//! The NVM image ([`triad_mem::SparseStore`]) always holds
+//! *ciphertext* and *serialised metadata* — exactly the bytes a
+//! physical attacker could read or modify. Plaintext and current
+//! metadata values live in volatile maps mirroring the caches' resident
+//! sets; a [`SecureMemory::crash`] drops all of it, and
+//! [`SecureMemory::recover`] must then reconstruct a verified state
+//! from the NVM image alone, which is what makes the paper's
+//! experiments honest: tampering and torn persists really are detected
+//! by MAC/tree mismatches.
+//!
+//! ## Write paths (Figure 3 / Figure 7)
+//!
+//! * **Lazy** (non-persistent region, or the `WriteBack` scheme):
+//!   ciphertext goes to the WPQ at eviction; counters, MACs and tree
+//!   nodes are updated in their caches only and written back when
+//!   evicted, each eviction refreshing its parent's slot.
+//! * **Atomic** (persistent region under `Strict`/`TriadNvm`): the
+//!   update set {data, counter, MAC, persisted tree levels, new root}
+//!   is staged in persistent registers (READY_BIT), copied into the
+//!   WPQ, and committed; a crash mid-copy is replayed at recovery.
+
+use std::collections::{HashMap, HashSet};
+
+use triad_cache::{Cache, Replacement};
+use triad_crypto::aes::Aes128;
+use triad_crypto::counter::{AnyCounterBlock, IncrementOutcome};
+use triad_crypto::ctr::{decrypt_block, encrypt_block, Iv};
+use triad_crypto::mac::{Mac64, MacEngine};
+use triad_mem::controller::MemoryController;
+use triad_mem::store::{Block, SparseStore};
+use triad_meta::bmt::{self, NodeBuf, NodeId};
+use triad_meta::layout::{BlockRole, MemoryMap, RegionKind, RegionLayout};
+use triad_sim::config::SystemConfig;
+use triad_sim::stats::{StatSet, StatSink};
+use triad_sim::time::{Duration, Time};
+use triad_sim::{BlockAddr, PhysAddr, BLOCK_BYTES};
+
+use crate::error::{IntegrityKind, SecureMemoryError};
+use crate::recovery::{CorruptRange, RecoveryReport};
+use crate::registers::{PersistentRegisters, StagedUpdate, StagedWrite};
+use crate::scheme::{CounterPersistence, KeyPolicy, PersistScheme};
+
+/// Shorthand for results of secure-memory operations.
+pub type Result<T> = std::result::Result<T, SecureMemoryError>;
+
+/// Whether the engine is running or waiting for recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineState {
+    Running,
+    Crashed,
+    /// Recovery declared the persistent region unverifiable.
+    PersistentPoisoned,
+}
+
+/// Aggregate statistics of the secure engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecureStats {
+    /// Loads served (block granularity).
+    pub loads: u64,
+    /// Loads that hit in L3.
+    pub l3_load_hits: u64,
+    /// Stores served.
+    pub stores: u64,
+    /// Persist operations (`store; clwb; sfence`).
+    pub persists: u64,
+    /// Reads satisfied as "fresh" (never-written) blocks.
+    pub fresh_reads: u64,
+    /// Lazy counter-block initialisations (§3.3.4 first-touch).
+    pub lazy_counter_inits: u64,
+    /// Data blocks encrypted and written to NVM.
+    pub nvm_data_writes: u64,
+    /// Data blocks fetched from NVM.
+    pub nvm_data_reads: u64,
+    /// Counter blocks written to NVM (persist path).
+    pub counter_writes_persist: u64,
+    /// Counter blocks written to NVM (eviction path).
+    pub counter_writes_evict: u64,
+    /// MAC blocks written to NVM (persist path).
+    pub mac_writes_persist: u64,
+    /// MAC blocks written to NVM (eviction path).
+    pub mac_writes_evict: u64,
+    /// BMT nodes written to NVM (persist path).
+    pub node_writes_persist: u64,
+    /// BMT nodes written to NVM (eviction path).
+    pub node_writes_evict: u64,
+    /// Counter blocks fetched from NVM.
+    pub counter_reads: u64,
+    /// MAC blocks fetched from NVM.
+    pub mac_reads: u64,
+    /// BMT nodes fetched from NVM.
+    pub node_reads: u64,
+    /// Minor-counter overflows (whole-page re-encryptions).
+    pub page_reencryptions: u64,
+    /// Atomic persist protocol executions.
+    pub atomic_persists: u64,
+    /// Epoch boundaries committed (epoch-persistency extension).
+    pub epochs: u64,
+    /// Counter persists skipped by the Osiris relaxation.
+    pub osiris_counter_skips: u64,
+    /// Counter blocks reconstructed by the Osiris search at access
+    /// time after a crash.
+    pub osiris_recoveries: u64,
+}
+
+impl SecureStats {
+    /// Total metadata writes attributable to strict persistence.
+    pub fn persist_metadata_writes(&self) -> u64 {
+        self.counter_writes_persist + self.mac_writes_persist + self.node_writes_persist
+    }
+
+    /// Total metadata writes from natural evictions.
+    pub fn evict_metadata_writes(&self) -> u64 {
+        self.counter_writes_evict + self.mac_writes_evict + self.node_writes_evict
+    }
+}
+
+impl StatSink for SecureStats {
+    fn report(&self, prefix: &str, out: &mut StatSet) {
+        out.set(format!("{prefix}loads"), self.loads);
+        out.set(format!("{prefix}stores"), self.stores);
+        out.set(format!("{prefix}persists"), self.persists);
+        out.set(format!("{prefix}fresh_reads"), self.fresh_reads);
+        out.set(
+            format!("{prefix}lazy_counter_inits"),
+            self.lazy_counter_inits,
+        );
+        out.set(format!("{prefix}nvm_data_writes"), self.nvm_data_writes);
+        out.set(format!("{prefix}nvm_data_reads"), self.nvm_data_reads);
+        out.set(
+            format!("{prefix}persist_metadata_writes"),
+            self.persist_metadata_writes(),
+        );
+        out.set(
+            format!("{prefix}evict_metadata_writes"),
+            self.evict_metadata_writes(),
+        );
+        out.set(
+            format!("{prefix}page_reencryptions"),
+            self.page_reencryptions,
+        );
+        out.set(format!("{prefix}atomic_persists"), self.atomic_persists);
+        out.set(format!("{prefix}epochs"), self.epochs);
+        out.set(
+            format!("{prefix}osiris_counter_skips"),
+            self.osiris_counter_skips,
+        );
+        out.set(format!("{prefix}osiris_recoveries"), self.osiris_recoveries);
+    }
+}
+
+/// A data region's bounds, for address arithmetic in user code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionHandle {
+    start: PhysAddr,
+    bytes: u64,
+}
+
+impl RegionHandle {
+    /// First byte of the region's data area.
+    pub fn start(&self) -> PhysAddr {
+        self.start
+    }
+
+    /// Usable data bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether `addr` falls inside the data area.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.bytes
+    }
+}
+
+/// Builder for [`SecureMemory`].
+///
+/// # Example
+///
+/// ```rust
+/// use triad_core::{PersistScheme, SecureMemoryBuilder};
+///
+/// # fn main() -> Result<(), triad_core::SecureMemoryError> {
+/// let mem = SecureMemoryBuilder::new()
+///     .capacity_bytes(1 << 22)
+///     .persistent_fraction_eighths(4)
+///     .scheme(PersistScheme::triad_nvm(2))
+///     .build()?;
+/// assert!(mem.persistent_region().len_bytes() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecureMemoryBuilder {
+    config: SystemConfig,
+    scheme: PersistScheme,
+    key_policy: KeyPolicy,
+    counter_persistence: CounterPersistence,
+    key_seed: u64,
+}
+
+impl Default for SecureMemoryBuilder {
+    fn default() -> Self {
+        SecureMemoryBuilder::new()
+    }
+}
+
+impl SecureMemoryBuilder {
+    /// Starts from the small test configuration; override as needed.
+    pub fn new() -> Self {
+        SecureMemoryBuilder {
+            config: SystemConfig::tiny(),
+            scheme: PersistScheme::triad_nvm(1),
+            key_policy: KeyPolicy::SessionCounter,
+            counter_persistence: CounterPersistence::Strict,
+            key_seed: 0x5EC0_11D5,
+        }
+    }
+
+    /// Uses a complete [`SystemConfig`] (e.g. [`SystemConfig::isca19`]).
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the NVM capacity in bytes.
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.config.mem.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the persistent-region fraction in eighths (§3.3.1 requires
+    /// a whole number of eighths).
+    pub fn persistent_fraction_eighths(mut self, eighths: u8) -> Self {
+        self.config.persistent_eighths = eighths;
+        self
+    }
+
+    /// Sets the persistence scheme.
+    pub fn scheme(mut self, scheme: PersistScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the key policy (§3.3.2).
+    pub fn key_policy(mut self, policy: KeyPolicy) -> Self {
+        self.key_policy = policy;
+        self
+    }
+
+    /// Sets the encryption-counter organisation (§2.1.2; split is the
+    /// default, monolithic exists as an ablation).
+    pub fn counter_mode(mut self, mode: triad_sim::config::CounterMode) -> Self {
+        self.config.security.counter_mode = mode;
+        self
+    }
+
+    /// Sets the counter-persistence policy (Osiris-style relaxation;
+    /// see [`CounterPersistence`]).
+    pub fn counter_persistence(mut self, policy: CounterPersistence) -> Self {
+        self.counter_persistence = policy;
+        self
+    }
+
+    /// Seeds key derivation (deterministic runs).
+    pub fn key_seed(mut self, seed: u64) -> Self {
+        self.key_seed = seed;
+        self
+    }
+
+    /// Builds the engine, initialising both region trees over the
+    /// all-zero NVM image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecureMemoryError::Config`] if the configuration fails
+    /// validation.
+    pub fn build(self) -> Result<SecureMemory> {
+        if let CounterPersistence::Osiris { interval } = self.counter_persistence {
+            if interval == 0 {
+                return Err(SecureMemoryError::Config(
+                    "osiris interval must be at least 1".to_string(),
+                ));
+            }
+            if self.scheme.persisted_bmt_levels() < 1 {
+                return Err(SecureMemoryError::Config(format!(
+                    "osiris counter relaxation needs a persisted BMT level 1                      as its recovery oracle; scheme {} does not persist it",
+                    self.scheme
+                )));
+            }
+        }
+        SecureMemory::new(
+            self.config,
+            self.scheme,
+            self.key_policy,
+            self.counter_persistence,
+            self.key_seed,
+        )
+    }
+}
+
+fn derive_key(seed: u64, purpose: u64) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    let mut x = triad_sim::rng::SplitMix64::new(seed ^ purpose.wrapping_mul(0x9E37_79B9));
+    k[..8].copy_from_slice(&x.next_u64().to_le_bytes());
+    k[8..].copy_from_slice(&x.next_u64().to_le_bytes());
+    k
+}
+
+/// A block displaced from an on-chip structure, carrying its current
+/// value. Victims are *queued* and drained iteratively at the end of
+/// each top-level operation — never handled recursively — so no two
+/// live copies of the same metadata block can ever diverge.
+#[derive(Debug, Clone)]
+enum EvictItem {
+    Data {
+        addr: BlockAddr,
+        plain: Block,
+        dirty: bool,
+    },
+    Counter {
+        addr: BlockAddr,
+        value: AnyCounterBlock,
+        dirty: bool,
+    },
+    Node {
+        addr: BlockAddr,
+        value: NodeBuf,
+        dirty: bool,
+    },
+    Mac {
+        addr: BlockAddr,
+        value: NodeBuf,
+        dirty: bool,
+    },
+}
+
+impl EvictItem {
+    fn addr(&self) -> BlockAddr {
+        match self {
+            EvictItem::Data { addr, .. }
+            | EvictItem::Counter { addr, .. }
+            | EvictItem::Node { addr, .. }
+            | EvictItem::Mac { addr, .. } => *addr,
+        }
+    }
+}
+
+/// The secure memory controller (see module docs).
+#[derive(Debug)]
+pub struct SecureMemory {
+    config: SystemConfig,
+    map: MemoryMap,
+    scheme: PersistScheme,
+    key_policy: KeyPolicy,
+    key_seed: u64,
+    aes_persistent: Aes128,
+    aes_volatile: Aes128,
+    mac_engine: MacEngine,
+    mc: MemoryController,
+    l3: Cache,
+    ctr_cache: Cache,
+    mt_cache: Cache,
+    /// Plaintext of data blocks resident in L3.
+    plain: HashMap<u64, Block>,
+    /// Current values of counter blocks resident in the counter cache.
+    counters: HashMap<u64, AnyCounterBlock>,
+    /// Current values of BMT nodes resident in the MT cache.
+    nodes: HashMap<u64, NodeBuf>,
+    /// Current values of MAC blocks resident in the MT cache.
+    macs: HashMap<u64, NodeBuf>,
+    regs: PersistentRegisters,
+    state: EngineState,
+    counter_persistence: CounterPersistence,
+    /// Updates since the last forced counter persist (Osiris mode).
+    osiris_since: HashMap<u64, u8>,
+    /// Non-persistent data blocks written this boot session (fresh
+    /// anonymous pages read as zeros, like an OS zero page).
+    np_written: HashSet<u64>,
+    boot_count: u64,
+    stats: SecureStats,
+    clock: Time,
+    /// Victims awaiting their downstream write-back (see [`EvictItem`]).
+    evict_queue: Vec<EvictItem>,
+    /// Blocks whose persists are deferred to the next epoch boundary
+    /// (`None` = epoch persistency inactive; see
+    /// [`SecureMemory::begin_epoch`]).
+    epoch: Option<Vec<BlockAddr>>,
+    /// Test hook: crash after this many further WPQ copies inside
+    /// atomic persists.
+    crash_after_wpq_writes: Option<u64>,
+}
+
+impl SecureMemory {
+    fn new(
+        config: SystemConfig,
+        scheme: PersistScheme,
+        key_policy: KeyPolicy,
+        counter_persistence: CounterPersistence,
+        key_seed: u64,
+    ) -> Result<Self> {
+        config.validate().map_err(SecureMemoryError::Config)?;
+        let map = MemoryMap::new(&config);
+        let mut engine = SecureMemory {
+            aes_persistent: Aes128::new(&derive_key(key_seed, 0)),
+            aes_volatile: Aes128::new(&derive_key(key_seed, 1)),
+            mac_engine: MacEngine::new(derive_key(key_seed, 2)),
+            mc: MemoryController::new(config.mem),
+            l3: Cache::new("l3", config.l3, Replacement::Lru),
+            ctr_cache: Cache::new("ctr", config.security.counter_cache, Replacement::Lru),
+            mt_cache: Cache::new("mt", config.security.mt_cache, Replacement::Lru),
+            plain: HashMap::new(),
+            counters: HashMap::new(),
+            nodes: HashMap::new(),
+            macs: HashMap::new(),
+            regs: PersistentRegisters::new(),
+            state: EngineState::Running,
+            counter_persistence,
+            osiris_since: HashMap::new(),
+            np_written: HashSet::new(),
+            boot_count: 1,
+            stats: SecureStats::default(),
+            clock: Time::ZERO,
+            evict_queue: Vec::new(),
+            epoch: None,
+            crash_after_wpq_writes: None,
+            config,
+            map,
+            scheme,
+            key_policy,
+            key_seed,
+        };
+        // Initial tree build over the all-zero image: with the §3.3.4
+        // zero sentinel this touches no counter bytes and stores only
+        // the (few) non-zero upper levels.
+        for kind in RegionKind::ALL {
+            let layout = engine.map.region(kind).clone();
+            if layout.is_empty() {
+                continue;
+            }
+            let out =
+                bmt::rebuild_from_level(engine.mc.store_mut(), &layout, &engine.mac_engine, 0);
+            engine.set_root(kind, out.root);
+        }
+        Ok(engine)
+    }
+
+    // ----- small accessors -------------------------------------------------
+
+    /// The persistence scheme in force.
+    pub fn scheme(&self) -> PersistScheme {
+        self.scheme
+    }
+
+    /// The key policy in force.
+    pub fn key_policy(&self) -> KeyPolicy {
+        self.key_policy
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The physical memory map.
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> SecureStats {
+        self.stats
+    }
+
+    /// Memory-controller statistics (NVM traffic, WPQ behaviour).
+    pub fn mem_stats(&self) -> triad_mem::MemStats {
+        self.mc.stats()
+    }
+
+    /// Per-block NVM wear statistics (physical drains).
+    pub fn wear(&self) -> &triad_mem::WearTracker {
+        self.mc.wear()
+    }
+
+    /// The raw NVM image — the attacker's view.
+    pub fn nvm_image(&self) -> &SparseStore {
+        self.mc.store()
+    }
+
+    /// Mutable NVM image, for tamper injection in security tests.
+    pub fn nvm_image_mut(&mut self) -> &mut SparseStore {
+        self.mc.store_mut()
+    }
+
+    /// The current boot session counter.
+    pub fn session(&self) -> u32 {
+        self.regs.session
+    }
+
+    /// The on-chip root node of a region's BMT.
+    pub fn root(&self, kind: RegionKind) -> NodeBuf {
+        match kind {
+            RegionKind::Persistent => self.regs.persistent_root,
+            RegionKind::NonPersistent => self.regs.non_persistent_root,
+        }
+    }
+
+    fn set_root(&mut self, kind: RegionKind, root: NodeBuf) {
+        match kind {
+            RegionKind::Persistent => self.regs.persistent_root = root,
+            RegionKind::NonPersistent => self.regs.non_persistent_root = root,
+        }
+    }
+
+    /// Bounds of the persistent region's data area.
+    pub fn persistent_region(&self) -> RegionHandle {
+        let r = self.map.persistent();
+        RegionHandle {
+            start: r.data_base(),
+            bytes: r.data_bytes(),
+        }
+    }
+
+    /// Bounds of the non-persistent region's data area.
+    pub fn non_persistent_region(&self) -> RegionHandle {
+        let r = self.map.non_persistent();
+        RegionHandle {
+            start: r.data_base(),
+            bytes: r.data_bytes(),
+        }
+    }
+
+    /// Arms the crash hook: the engine will crash after `n` further
+    /// WPQ copies performed inside atomic persists (0 = before the
+    /// next one). Used by crash-consistency tests.
+    pub fn inject_crash_after_wpq_writes(&mut self, n: u64) {
+        self.crash_after_wpq_writes = Some(n);
+    }
+
+    /// The internal clock of the convenience (untimed) API.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    fn split_counters(&self) -> bool {
+        self.config.security.counter_mode == triad_sim::config::CounterMode::Split
+    }
+
+    fn aes_for(&self, kind: RegionKind) -> &Aes128 {
+        match (self.key_policy, kind) {
+            (KeyPolicy::SessionCounter, _) => &self.aes_persistent,
+            (KeyPolicy::DualKey, RegionKind::Persistent) => &self.aes_persistent,
+            (KeyPolicy::DualKey, RegionKind::NonPersistent) => &self.aes_volatile,
+        }
+    }
+
+    fn session_for(&self, kind: RegionKind) -> u32 {
+        match (self.key_policy, kind) {
+            // §3.3.2: persistent data always uses session 0 so it stays
+            // decryptable across boots; non-persistent data uses the
+            // current boot session.
+            (KeyPolicy::SessionCounter, RegionKind::Persistent) => 0,
+            (KeyPolicy::SessionCounter, RegionKind::NonPersistent) => self.regs.session,
+            (KeyPolicy::DualKey, _) => 0,
+        }
+    }
+
+    fn layout(&self, kind: RegionKind) -> &RegionLayout {
+        self.map.region(kind)
+    }
+
+    fn check_running(&self) -> Result<()> {
+        match self.state {
+            EngineState::Running | EngineState::PersistentPoisoned => Ok(()),
+            EngineState::Crashed => Err(SecureMemoryError::NeedsRecovery),
+        }
+    }
+
+    // ----- cache wrappers: victims are queued, never handled inline --------
+
+    fn l3_touch(&mut self, block: BlockAddr, write: bool) -> bool {
+        let out = self.l3.access(block, write);
+        if let Some(v) = out.victim {
+            let plain = self.plain.remove(&v.addr.0).unwrap_or([0; BLOCK_BYTES]);
+            self.evict_queue.push(EvictItem::Data {
+                addr: v.addr,
+                plain,
+                dirty: v.dirty,
+            });
+        }
+        out.hit
+    }
+
+    fn ctr_touch(&mut self, block: BlockAddr, write: bool) -> bool {
+        let out = self.ctr_cache.access(block, write);
+        if let Some(v) = out.victim {
+            if let Some(value) = self.counters.remove(&v.addr.0) {
+                self.evict_queue.push(EvictItem::Counter {
+                    addr: v.addr,
+                    value,
+                    dirty: v.dirty,
+                });
+            }
+        }
+        out.hit
+    }
+
+    fn mt_touch(&mut self, block: BlockAddr, write: bool) -> bool {
+        let out = self.mt_cache.access(block, write);
+        if let Some(v) = out.victim {
+            if let Some(value) = self.nodes.remove(&v.addr.0) {
+                self.evict_queue.push(EvictItem::Node {
+                    addr: v.addr,
+                    value,
+                    dirty: v.dirty,
+                });
+            } else if let Some(value) = self.macs.remove(&v.addr.0) {
+                self.evict_queue.push(EvictItem::Mac {
+                    addr: v.addr,
+                    value,
+                    dirty: v.dirty,
+                });
+            }
+        }
+        out.hit
+    }
+
+    /// Pulls a still-queued victim back on chip (a fetch racing its own
+    /// pending write-back must see the newest value, not stale NVM).
+    fn reclaim(&mut self, addr: BlockAddr) -> Option<EvictItem> {
+        let pos = self.evict_queue.iter().position(|e| e.addr() == addr)?;
+        Some(self.evict_queue.remove(pos))
+    }
+
+    /// Drains the eviction queue: every dirty victim is written to NVM
+    /// and its parent's hash slot refreshed (the §3.2 lazy-propagation
+    /// discipline). Handlers may queue further victims; the loop runs
+    /// until quiescence.
+    fn drain_evictions(&mut self, now: Time) -> Result<()> {
+        while let Some(item) = self.evict_queue.pop() {
+            match item {
+                EvictItem::Data { addr, plain, dirty } => {
+                    if dirty {
+                        self.writeback_data(addr, plain, now, false)?;
+                    }
+                }
+                EvictItem::Counter { addr, value, dirty } => {
+                    if !dirty {
+                        continue;
+                    }
+                    let kind = self
+                        .map
+                        .region_of(addr.base())
+                        .expect("counter block inside a region");
+                    let leaf = self.layout(kind).leaf_index(addr);
+                    let bytes = value.to_bytes();
+                    self.mc.write(addr, bytes, now);
+                    self.stats.counter_writes_evict += 1;
+                    let h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &bytes);
+                    self.bump_parent_slot(kind, 0, leaf, h, now)?;
+                }
+                EvictItem::Node { addr, value, dirty } => {
+                    if !dirty {
+                        continue;
+                    }
+                    let kind = self
+                        .map
+                        .region_of(addr.base())
+                        .expect("node inside a region");
+                    let layout = self.layout(kind);
+                    let BlockRole::BmtNode(level) = layout.role_of(addr) else {
+                        unreachable!("queued node at {addr} is not a BMT node");
+                    };
+                    let index = addr - layout.bmt_level_start[level as usize - 1];
+                    self.mc.write(addr, value.0, now);
+                    self.stats.node_writes_evict += 1;
+                    let h = bmt::node_hash(
+                        &self.mac_engine,
+                        NodeId {
+                            region: kind,
+                            level,
+                            index,
+                        },
+                        &value.0,
+                    );
+                    self.bump_parent_slot(kind, level, index, h, now)?;
+                }
+                EvictItem::Mac { addr, value, dirty } => {
+                    if dirty {
+                        self.mc.write(addr, value.0, now);
+                        self.stats.mac_writes_evict += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Updates the parent slot of node `(level, index)` after its NVM
+    /// copy changed (lazy propagation: the §3.2 eviction discipline).
+    fn bump_parent_slot(
+        &mut self,
+        kind: RegionKind,
+        level: u8,
+        index: u64,
+        hash: Mac64,
+        now: Time,
+    ) -> Result<()> {
+        let geom = self.layout(kind).geometry.clone();
+        let (p_level, p_index) = geom.parent(level, index);
+        let slot = geom.child_slot(index);
+        if p_level == geom.root_level() {
+            let mut root = self.root(kind);
+            root.set_slot(slot, hash);
+            self.set_root(kind, root);
+            return Ok(());
+        }
+        self.ensure_node(kind, p_level, p_index, now)?;
+        let addr = self
+            .layout(kind)
+            .bmt_node_addr(p_level, p_index)
+            .expect("below root");
+        let entry = self
+            .nodes
+            .get_mut(&addr.0)
+            .expect("ensure_node leaves the node resident");
+        entry.set_slot(slot, hash);
+        self.mt_touch(addr, true);
+        Ok(())
+    }
+
+    // ----- metadata fetch with verification ---------------------------------
+
+    /// Returns the current value of BMT node `(level, index)`, fetching
+    /// and verifying it from NVM if it is not resident on chip.
+    fn ensure_node(
+        &mut self,
+        kind: RegionKind,
+        level: u8,
+        index: u64,
+        now: Time,
+    ) -> Result<(NodeBuf, Time)> {
+        let geom_root = self.layout(kind).geometry.root_level();
+        if level == geom_root {
+            return Ok((self.root(kind), now));
+        }
+        let addr = self
+            .layout(kind)
+            .bmt_node_addr(level, index)
+            .expect("node below root level");
+        if let Some(buf) = self.nodes.get(&addr.0) {
+            let buf = *buf;
+            let lat = self.mt_cache.latency();
+            self.mt_touch(addr, false);
+            return Ok((buf, now + lat));
+        }
+        // A pending write-back holds the newest value.
+        if let Some(EvictItem::Node { value, dirty, .. }) = self.reclaim(addr) {
+            self.nodes.insert(addr.0, value);
+            self.mt_touch(addr, dirty);
+            return Ok((value, now + self.mt_cache.latency()));
+        }
+        // Fetch from NVM and verify against the parent.
+        let (bytes, t) = self.mc.read(addr, now);
+        self.stats.node_reads += 1;
+        let h = bmt::node_hash(
+            &self.mac_engine,
+            NodeId {
+                region: kind,
+                level,
+                index,
+            },
+            &bytes,
+        );
+        let geom = self.layout(kind).geometry.clone();
+        let (p_level, p_index) = geom.parent(level, index);
+        let slot = geom.child_slot(index);
+        let (parent, tp) = self.ensure_node(kind, p_level, p_index, now)?;
+        if parent.slot(slot) != h {
+            return Err(SecureMemoryError::IntegrityViolation {
+                kind: IntegrityKind::BmtNode,
+                block: addr,
+            });
+        }
+        let buf = NodeBuf(bytes);
+        self.nodes.insert(addr.0, buf);
+        self.mt_touch(addr, false);
+        let done = t.max(tp) + self.config.security.hash_latency;
+        Ok((buf, done))
+    }
+
+    fn put_node(&mut self, kind: RegionKind, level: u8, index: u64, buf: NodeBuf, dirty: bool) {
+        if level == self.layout(kind).geometry.root_level() {
+            self.set_root(kind, buf);
+            return;
+        }
+        let addr = self
+            .layout(kind)
+            .bmt_node_addr(level, index)
+            .expect("node below root level");
+        self.nodes.insert(addr.0, buf);
+        self.mt_touch(addr, dirty);
+    }
+
+    /// Returns the current counter block for leaf `leaf`, fetching and
+    /// verifying from NVM on a counter-cache miss. Handles the §3.3.4
+    /// lazy first-touch of non-persistent counters.
+    fn ensure_counter(
+        &mut self,
+        kind: RegionKind,
+        leaf: u64,
+        now: Time,
+    ) -> Result<(AnyCounterBlock, Time)> {
+        let addr = self.layout(kind).counter_start + leaf;
+        if let Some(cb) = self.counters.get(&addr.0) {
+            let cb = *cb;
+            let lat = self.ctr_cache.latency();
+            self.ctr_touch(addr, false);
+            return Ok((cb, now + lat));
+        }
+        if let Some(EvictItem::Counter { value, dirty, .. }) = self.reclaim(addr) {
+            self.counters.insert(addr.0, value);
+            self.ctr_touch(addr, dirty);
+            return Ok((value, now + self.ctr_cache.latency()));
+        }
+        let (bytes, t) = self.mc.read(addr, now);
+        self.stats.counter_reads += 1;
+        let h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &bytes);
+        let geom = self.layout(kind).geometry.clone();
+        let (p_level, p_index) = geom.parent(0, leaf);
+        let slot = geom.child_slot(leaf);
+        let (parent, tp) = self.ensure_node(kind, p_level, p_index, now)?;
+        let expected = parent.slot(slot);
+        let split = self.split_counters();
+        let cb = if expected == h {
+            AnyCounterBlock::from_bytes(split, &bytes)
+        } else if expected.is_zero() && kind == RegionKind::NonPersistent {
+            // First touch after a crash: the stale NVM counter is
+            // discarded and the block restarts from zero (§3.3.4).
+            self.stats.lazy_counter_inits += 1;
+            AnyCounterBlock::fresh(split)
+        } else if let Some(recovered) = self.osiris_search(kind, leaf, &bytes, expected, now)? {
+            // Osiris: the stale counter was reconstructed from the
+            // strictly persisted MACs and validated against the tree.
+            self.mc.write(addr, recovered.to_bytes(), now);
+            self.stats.counter_writes_persist += 1;
+            recovered
+        } else {
+            return Err(SecureMemoryError::IntegrityViolation {
+                kind: IntegrityKind::Counter,
+                block: addr,
+            });
+        };
+        self.counters.insert(addr.0, cb);
+        self.ctr_touch(addr, false);
+        let done = t.max(tp) + self.config.security.hash_latency;
+        Ok((cb, done))
+    }
+
+    /// Osiris counter reconstruction (Ye et al., MICRO'18 — the
+    /// relaxation the paper's §6 cites as orthogonal): a counter block
+    /// whose hash mismatches its (strictly persisted) BMT parent slot
+    /// is reconstructed by trying up to `interval` consecutive counter
+    /// values per data block against the strictly persisted MACs, then
+    /// validated as a whole against the parent slot. Returns
+    /// `Ok(None)` when reconstruction is impossible (true tampering,
+    /// or Osiris inactive).
+    fn osiris_search(
+        &mut self,
+        kind: RegionKind,
+        leaf: u64,
+        stored: &Block,
+        expected: Mac64,
+        now: Time,
+    ) -> Result<Option<AnyCounterBlock>> {
+        let CounterPersistence::Osiris { interval } = self.counter_persistence else {
+            return Ok(None);
+        };
+        if kind != RegionKind::Persistent {
+            return Ok(None);
+        }
+        let layout = self.layout(kind).clone();
+        let split = self.split_counters();
+        let mut cb = AnyCounterBlock::from_bytes(split, stored);
+        let coverage = layout.counter_coverage;
+        for s in 0..coverage as usize {
+            let data_index = leaf * coverage + s as u64;
+            if data_index >= layout.data_blocks {
+                break;
+            }
+            let (mac_buf, _) = self.ensure_mac_block(kind, data_index, now)?;
+            let tag = mac_buf.slot((data_index % 8) as usize);
+            if tag.is_zero() {
+                continue; // never written: stored (zero) counter stands
+            }
+            let block = layout.data_start + data_index;
+            let (ct, _) = self.mc.read(block, now);
+            let mut trial = cb;
+            let mut found = false;
+            for _ in 0..=interval {
+                let pair = trial.pair(s);
+                let iv = self.data_iv(kind, block, pair.major, pair.minor);
+                if self.data_tag(kind, block, &ct, &iv) == tag {
+                    cb = trial;
+                    found = true;
+                    break;
+                }
+                if trial.increment(s) == IncrementOutcome::MajorOverflow {
+                    // A lost page re-encryption cannot be searched for;
+                    // give up on this block.
+                    break;
+                }
+            }
+            if !found {
+                return Ok(None);
+            }
+        }
+        let bytes = cb.to_bytes();
+        let h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &bytes);
+        if h == expected {
+            self.stats.osiris_recoveries += 1;
+            Ok(Some(cb))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Returns the MAC block for data index `data_index` (8 tags per
+    /// block), fetching from NVM on a miss. MAC blocks are keyed tags
+    /// and need no tree verification.
+    fn ensure_mac_block(
+        &mut self,
+        kind: RegionKind,
+        data_index: u64,
+        now: Time,
+    ) -> Result<(NodeBuf, Time)> {
+        let addr = self.layout(kind).mac_start + data_index / 8;
+        if let Some(buf) = self.macs.get(&addr.0) {
+            let buf = *buf;
+            let lat = self.mt_cache.latency();
+            self.mt_touch(addr, false);
+            return Ok((buf, now + lat));
+        }
+        if let Some(EvictItem::Mac { value, dirty, .. }) = self.reclaim(addr) {
+            self.macs.insert(addr.0, value);
+            self.mt_touch(addr, dirty);
+            return Ok((value, now + self.mt_cache.latency()));
+        }
+        let (bytes, t) = self.mc.read(addr, now);
+        self.stats.mac_reads += 1;
+        let buf = NodeBuf(bytes);
+        self.macs.insert(addr.0, buf);
+        self.mt_touch(addr, false);
+        Ok((buf, t))
+    }
+
+    fn data_iv(&self, kind: RegionKind, block: BlockAddr, major: u64, minor: u8) -> Iv {
+        Iv {
+            page: block.page(),
+            offset: block.page_offset() as u8,
+            major,
+            minor,
+            session: self.session_for(kind),
+        }
+    }
+
+    fn data_tag(&self, kind: RegionKind, block: BlockAddr, ct: &Block, iv: &Iv) -> Mac64 {
+        let _ = kind;
+        let t = self.mac_engine.data_mac(block.0, ct, iv);
+        // Zero is reserved as the "never written" marker.
+        if t.is_zero() {
+            Mac64(1)
+        } else {
+            t
+        }
+    }
+
+    // ----- write-back / persist path ----------------------------------------
+
+    /// Encrypts and writes `block` to NVM, updating counter, MAC and
+    /// tree according to the region and scheme. `_clwb` marks
+    /// clwb-style persists (eviction callers pass the captured
+    /// plaintext of a line that is already gone from L3).
+    fn writeback_data(
+        &mut self,
+        block: BlockAddr,
+        plaintext: Block,
+        now: Time,
+        _clwb: bool,
+    ) -> Result<Time> {
+        let kind = self
+            .map
+            .data_region_of(block)
+            .ok_or(SecureMemoryError::OutOfRange { addr: block.base() })?;
+        let layout = self.layout(kind).clone();
+        let data_index = layout.data_index(block);
+        let coverage = layout.counter_coverage;
+        let leaf = data_index / coverage;
+        let slot = (data_index % coverage) as usize;
+
+        // 1. Advance the counter.
+        let (mut cb, mut t) = self.ensure_counter(kind, leaf, now)?;
+        let old_cb = cb;
+        let outcome = cb.increment(slot);
+        self.counters.insert((layout.counter_start + leaf).0, cb);
+        self.ctr_touch(layout.counter_start + leaf, true);
+
+        // 2. Encrypt and MAC the block.
+        let pair = cb.pair(slot);
+        let iv = self.data_iv(kind, block, pair.major, pair.minor);
+        let ct = encrypt_block(self.aes_for(kind), &iv, &plaintext);
+        let tag = self.data_tag(kind, block, &ct, &iv);
+        let (mut mac_buf, t_mac) = self.ensure_mac_block(kind, data_index, now)?;
+        mac_buf.set_slot((data_index % 8) as usize, tag);
+        let mac_addr = layout.mac_start + data_index / 8;
+        self.macs.insert(mac_addr.0, mac_buf);
+        self.mt_touch(mac_addr, true);
+        t = t.max(t_mac) + self.config.security.hash_latency;
+
+        // 3. Minor overflow: the whole page re-encrypts under the new
+        //    major counter (§2.1.2).
+        if outcome == IncrementOutcome::MajorOverflow {
+            self.stats.page_reencryptions += 1;
+            let persist_macs = kind == RegionKind::Persistent && self.scheme.persists_metadata();
+            t = self
+                .reencrypt_page(kind, leaf, slot, &old_cb, &cb, persist_macs, now)?
+                .max(t);
+        }
+
+        // 4. Propagate to the tree and to NVM.
+        let counter_addr = layout.counter_start + leaf;
+        let counter_bytes = cb.to_bytes();
+        let leaf_h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &counter_bytes);
+        self.stats.nvm_data_writes += 1;
+
+        // Region awareness is Triad-NVM's contribution: `TriadNvm`
+        // applies atomic metadata persistence only to the persistent
+        // region, while `Strict` (prior work) is region-oblivious and
+        // pays it for *every* NVM write — the §5.1 observation that
+        // write-intensive non-persistent workloads (e.g. libquantum)
+        // gain an order of magnitude from region-aware relaxation.
+        let atomic = self.scheme.persists_metadata()
+            && (kind == RegionKind::Persistent || self.scheme == PersistScheme::Strict);
+        if atomic {
+            // Update the full path to the root in on-chip state and
+            // collect the strictly persisted levels.
+            let persist_levels = self
+                .scheme
+                .persisted_bmt_levels()
+                .min(layout.geometry.root_level().saturating_sub(1));
+            let (staged_nodes, new_root, t_path) =
+                self.update_path(kind, leaf, leaf_h, persist_levels, now)?;
+            t = t.max(t_path);
+            // Osiris relaxation: skip the counter copy unless the
+            // interval expired (recovery reconstructs skipped updates
+            // from the MACs, §6 / Ye et al.).
+            let persist_counter = match self.counter_persistence {
+                CounterPersistence::Strict => true,
+                CounterPersistence::Osiris { interval } => {
+                    let since = self.osiris_since.entry(counter_addr.0).or_insert(0);
+                    *since += 1;
+                    if *since >= interval {
+                        *since = 0;
+                        true
+                    } else {
+                        self.stats.osiris_counter_skips += 1;
+                        false
+                    }
+                }
+            };
+            let mut writes = vec![StagedWrite {
+                addr: block,
+                data: ct,
+            }];
+            if persist_counter {
+                writes.push(StagedWrite {
+                    addr: counter_addr,
+                    data: counter_bytes,
+                });
+                self.stats.counter_writes_persist += 1;
+            }
+            writes.push(StagedWrite {
+                addr: mac_addr,
+                data: mac_buf.0,
+            });
+            let node_count = staged_nodes.len() as u64;
+            writes.extend(staged_nodes);
+            self.stats.atomic_persists += 1;
+            self.stats.mac_writes_persist += 1;
+            self.stats.node_writes_persist += node_count;
+            // §3.3.5 protocol: stage → READY_BIT → WPQ copies → commit.
+            // Only the persistent region's root matters for recovery
+            // (the non-persistent root is rebuilt lazily regardless).
+            self.regs.stage(StagedUpdate {
+                writes: writes.clone(),
+                new_persistent_root: (kind == RegionKind::Persistent).then_some(new_root),
+            });
+            t += self
+                .config
+                .security
+                .persistent_register_latency
+                .saturating_mul(writes.len() as u64 + 1);
+            for w in &writes {
+                if let Some(left) = self.crash_after_wpq_writes {
+                    if left == 0 {
+                        self.crash_after_wpq_writes = None;
+                        self.crash();
+                        return Err(SecureMemoryError::NeedsRecovery);
+                    }
+                    self.crash_after_wpq_writes = Some(left - 1);
+                }
+                t = self.mc.write(w.addr, w.data, t);
+            }
+            self.set_root(kind, new_root);
+            self.regs.commit();
+            // Persisted metadata is now clean on chip (under Osiris the
+            // skipped counter stays dirty until its forced persist or
+            // natural eviction).
+            if persist_counter {
+                self.ctr_cache.flush(counter_addr);
+            }
+            self.mt_cache.flush(mac_addr);
+            for w in writes.iter().skip(if persist_counter { 3 } else { 2 }) {
+                self.mt_cache.flush(w.addr);
+            }
+        } else {
+            // Lazy path: only the ciphertext goes to NVM now; counter,
+            // MAC and tree propagate on eviction.
+            t = self.mc.write(block, ct, t);
+        }
+        Ok(t)
+    }
+
+    /// Re-encrypts all other blocks of a page after a minor-counter
+    /// overflow reset the page to a new major counter.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware datapath's operands
+    fn reencrypt_page(
+        &mut self,
+        kind: RegionKind,
+        leaf: u64,
+        written_slot: usize,
+        old_cb: &AnyCounterBlock,
+        new_cb: &AnyCounterBlock,
+        persist_macs: bool,
+        now: Time,
+    ) -> Result<Time> {
+        let layout = self.layout(kind).clone();
+        let coverage = layout.counter_coverage;
+        let mut t = now;
+        let mut touched_macs = std::collections::BTreeSet::new();
+        for s in 0..coverage as usize {
+            if s == written_slot {
+                continue;
+            }
+            let data_index = leaf * coverage + s as u64;
+            if data_index >= layout.data_blocks {
+                break;
+            }
+            let block = layout.data_start + data_index;
+            let (mac_buf, _) = self.ensure_mac_block(kind, data_index, now)?;
+            let tag = mac_buf.slot((data_index % 8) as usize);
+            // Get the plaintext: cached, fresh, or decrypt the old
+            // ciphertext.
+            let queued_plain = self.evict_queue.iter().find_map(|e| match e {
+                EvictItem::Data { addr, plain, .. } if *addr == block => Some(*plain),
+                _ => None,
+            });
+            let plaintext = if let Some(p) = self.plain.get(&block.0) {
+                *p
+            } else if let Some(p) = queued_plain {
+                p
+            } else if tag.is_zero() {
+                [0u8; BLOCK_BYTES] // never written
+            } else {
+                let (ct_old, tr) = self.mc.read(block, now);
+                t = t.max(tr);
+                let old_pair = old_cb.pair(s);
+                let iv_old = self.data_iv(kind, block, old_pair.major, old_pair.minor);
+                decrypt_block(self.aes_for(kind), &iv_old, &ct_old)
+            };
+            let new_pair = new_cb.pair(s);
+            let iv_new = self.data_iv(kind, block, new_pair.major, new_pair.minor);
+            let ct_new = encrypt_block(self.aes_for(kind), &iv_new, &plaintext);
+            let new_tag = self.data_tag(kind, block, &ct_new, &iv_new);
+            let (mut mac_buf, _) = self.ensure_mac_block(kind, data_index, now)?;
+            mac_buf.set_slot((data_index % 8) as usize, new_tag);
+            let mac_addr = layout.mac_start + data_index / 8;
+            self.macs.insert(mac_addr.0, mac_buf);
+            self.mt_touch(mac_addr, true);
+            touched_macs.insert(mac_addr.0);
+            t = self.mc.write(block, ct_new, t);
+            self.stats.nvm_data_writes += 1;
+        }
+        if persist_macs {
+            // In atomic schemes the whole page's tags must reach the
+            // persistence domain with the re-encrypted data, or a crash
+            // would leave new ciphertext under stale NVM tags.
+            for mac_addr in touched_macs {
+                if let Some(buf) = self.macs.get(&mac_addr) {
+                    let data = buf.0;
+                    t = self.mc.write(BlockAddr(mac_addr), data, t);
+                    self.stats.mac_writes_persist += 1;
+                    self.mt_cache.flush(BlockAddr(mac_addr));
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Updates the tree path above `leaf` on chip, returning the node
+    /// writes to persist (levels `1..=persist_levels`) and the new root.
+    fn update_path(
+        &mut self,
+        kind: RegionKind,
+        leaf: u64,
+        leaf_hash: Mac64,
+        persist_levels: u8,
+        now: Time,
+    ) -> Result<(Vec<StagedWrite>, NodeBuf, Time)> {
+        let layout = self.layout(kind).clone();
+        let geom = layout.geometry.clone();
+        let mut staged = Vec::new();
+        let mut h = leaf_hash;
+        let mut child_index = leaf;
+        let mut t = now;
+        for level in 1..=geom.root_level() {
+            let slot = geom.child_slot(child_index);
+            let index = child_index / geom.arity();
+            if level == geom.root_level() {
+                let mut root = self.root(kind);
+                root.set_slot(slot, h);
+                t += self.config.security.hash_latency;
+                return Ok((staged, root, t));
+            }
+            let (mut buf, tn) = self.ensure_node(kind, level, index, now)?;
+            buf.set_slot(slot, h);
+            let persist_this = level <= persist_levels;
+            self.put_node(kind, level, index, buf, !persist_this);
+            if persist_this {
+                staged.push(StagedWrite {
+                    addr: layout.bmt_node_addr(level, index).expect("below root"),
+                    data: buf.0,
+                });
+            }
+            h = bmt::node_hash(
+                &self.mac_engine,
+                NodeId {
+                    region: kind,
+                    level,
+                    index,
+                },
+                &buf.0,
+            );
+            t = t.max(tn) + self.config.security.hash_latency;
+            child_index = index;
+        }
+        unreachable!("loop returns at root level");
+    }
+
+    // ----- public timed block API -------------------------------------------
+
+    /// Loads one 64-byte block (the L3-and-below path the private
+    /// caches call on their misses). Returns plaintext and completion
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// * [`SecureMemoryError::OutOfRange`] outside any data area.
+    /// * [`SecureMemoryError::MacMismatch`] /
+    ///   [`SecureMemoryError::IntegrityViolation`] on tampering.
+    /// * [`SecureMemoryError::NeedsRecovery`] after an unrecovered
+    ///   crash, [`SecureMemoryError::Unverifiable`] for a poisoned
+    ///   persistent region.
+    pub fn load_block(&mut self, block: BlockAddr, now: Time) -> Result<(Block, Time)> {
+        self.check_running()?;
+        let kind = self
+            .map
+            .data_region_of(block)
+            .ok_or(SecureMemoryError::OutOfRange { addr: block.base() })?;
+        if kind == RegionKind::Persistent && self.state == EngineState::PersistentPoisoned {
+            return Err(SecureMemoryError::Unverifiable {
+                reason: "persistent region was not recovered".to_string(),
+            });
+        }
+        self.stats.loads += 1;
+        if self.l3_touch(block, false) {
+            self.stats.l3_load_hits += 1;
+            let data = self
+                .plain
+                .get(&block.0)
+                .copied()
+                .unwrap_or([0; BLOCK_BYTES]);
+            self.drain_evictions(now)?;
+            return Ok((data, now + self.l3.latency()));
+        }
+        // The block may be sitting in its own pending write-back.
+        if let Some(EvictItem::Data { plain, dirty, .. }) = self.reclaim(block) {
+            self.plain.insert(block.0, plain);
+            self.l3.access(block, dirty);
+            self.drain_evictions(now)?;
+            return Ok((plain, now + self.l3.latency()));
+        }
+        // Fresh non-persistent blocks read as zeros (OS zero page).
+        if kind == RegionKind::NonPersistent && !self.np_written.contains(&block.0) {
+            self.stats.fresh_reads += 1;
+            self.plain.insert(block.0, [0; BLOCK_BYTES]);
+            let (_, t) = self.mc.read(block, now);
+            self.drain_evictions(now)?;
+            return Ok(([0; BLOCK_BYTES], t));
+        }
+        let layout = self.layout(kind).clone();
+        let data_index = layout.data_index(block);
+        let leaf = data_index / layout.counter_coverage;
+        let slot = (data_index % layout.counter_coverage) as usize;
+        let (ct, t_data) = self.mc.read(block, now);
+        self.stats.nvm_data_reads += 1;
+        let (cb, t_ctr) = self.ensure_counter(kind, leaf, now)?;
+        let (mac_buf, t_mac) = self.ensure_mac_block(kind, data_index, now)?;
+        let tag = mac_buf.slot((data_index % 8) as usize);
+        let pair = cb.pair(slot);
+        let pair_fresh = pair.major == 0 && pair.minor == 0;
+        let plaintext = if tag.is_zero() && pair_fresh {
+            self.stats.fresh_reads += 1;
+            [0u8; BLOCK_BYTES]
+        } else {
+            let iv = self.data_iv(kind, block, pair.major, pair.minor);
+            let plaintext = decrypt_block(self.aes_for(kind), &iv, &ct);
+            if self.data_tag(kind, block, &ct, &iv) != tag {
+                return Err(SecureMemoryError::MacMismatch { block });
+            }
+            plaintext
+        };
+        self.plain.insert(block.0, plaintext);
+        self.drain_evictions(now)?;
+        // Decryption overlaps the data fetch (counter-mode); the MAC
+        // check costs one hash after everything arrives.
+        let done = t_data.max(t_ctr).max(t_mac) + self.config.security.hash_latency;
+        Ok((plaintext, done))
+    }
+
+    /// Stores one full 64-byte block (write-allocate, write-back).
+    /// Fast: the block is dirtied in L3 and encrypted only when it
+    /// leaves the chip.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SecureMemory::load_block`].
+    pub fn store_block(&mut self, block: BlockAddr, data: Block, now: Time) -> Result<Time> {
+        self.check_running()?;
+        let kind = self
+            .map
+            .data_region_of(block)
+            .ok_or(SecureMemoryError::OutOfRange { addr: block.base() })?;
+        if kind == RegionKind::Persistent && self.state == EngineState::PersistentPoisoned {
+            return Err(SecureMemoryError::Unverifiable {
+                reason: "persistent region was not recovered".to_string(),
+            });
+        }
+        self.stats.stores += 1;
+        if kind == RegionKind::NonPersistent {
+            self.np_written.insert(block.0);
+        }
+        // Supersede any pending write-back of the same block.
+        self.reclaim(block);
+        self.plain.insert(block.0, data);
+        self.l3_touch(block, true);
+        self.drain_evictions(now)?;
+        Ok(now + self.l3.latency())
+    }
+
+    /// Persists one block (`store; clwb; sfence`): writes the data and
+    /// stores it durably together with its security metadata according
+    /// to the scheme. Returns the time the whole update set is inside
+    /// the persistence domain.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureMemoryError::NotPersistent`] if `block` is outside the
+    /// persistent region, plus the classes of
+    /// [`SecureMemory::load_block`].
+    pub fn persist_block(&mut self, block: BlockAddr, data: Block, now: Time) -> Result<Time> {
+        self.check_running()?;
+        if self.map.data_region_of(block) != Some(RegionKind::Persistent) {
+            return Err(SecureMemoryError::NotPersistent { addr: block.base() });
+        }
+        if self.state == EngineState::PersistentPoisoned {
+            return Err(SecureMemoryError::Unverifiable {
+                reason: "persistent region was not recovered".to_string(),
+            });
+        }
+        self.stats.stores += 1;
+        self.stats.persists += 1;
+        self.reclaim(block);
+        self.plain.insert(block.0, data);
+        self.l3_touch(block, true);
+        // Under epoch persistency (Liu et al., HPCA'18 — cited by the
+        // paper as an orthogonal relaxation) the persist is deferred to
+        // the epoch boundary: within an epoch only program order, not
+        // durability order, is guaranteed.
+        if let Some(pending) = &mut self.epoch {
+            pending.push(block);
+            self.drain_evictions(now)?;
+            return Ok(now + self.l3.latency());
+        }
+        let t = self.writeback_data(block, data, now + self.l3.latency(), true)?;
+        self.l3.flush(block);
+        self.drain_evictions(now)?;
+        Ok(t)
+    }
+
+    /// Begins an epoch (§6 / Liu et al.'s *epoch persistency*):
+    /// subsequent [`SecureMemory::persist_block`] calls return at cache
+    /// latency and their durability is deferred — and write-combined —
+    /// until [`SecureMemory::end_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an epoch is already open.
+    pub fn begin_epoch(&mut self) {
+        assert!(self.epoch.is_none(), "epoch already open");
+        self.epoch = Some(Vec::new());
+    }
+
+    /// Ends the current epoch: every deferred persist (latest value per
+    /// block) becomes durable with its metadata before the returned
+    /// time. Returns `now` unchanged if no epoch was open.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SecureMemory::persist_block`].
+    pub fn end_epoch(&mut self, now: Time) -> Result<Time> {
+        let Some(pending) = self.epoch.take() else {
+            return Ok(now);
+        };
+        self.stats.epochs += 1;
+        // Deduplicate, keeping one flush per block (write combining —
+        // the core of the epoch-persistency win).
+        let mut seen = HashSet::new();
+        let mut t = now;
+        for block in pending {
+            if !seen.insert(block.0) {
+                continue;
+            }
+            // The block may have been cleanly evicted (already durable)
+            // or overwritten; flush whatever is dirty on chip.
+            if self.l3.probe_dirty(block) {
+                let plaintext = self
+                    .plain
+                    .get(&block.0)
+                    .copied()
+                    .unwrap_or([0; BLOCK_BYTES]);
+                let done = self.writeback_data(block, plaintext, t, true)?;
+                self.l3.flush(block);
+                t = t.max(done);
+            }
+        }
+        self.drain_evictions(now)?;
+        Ok(t)
+    }
+
+    /// Whether an epoch is currently open.
+    pub fn epoch_open(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// Flushes an already-stored block (`clwb; sfence` without a new
+    /// store). No-op if the block is not dirty on chip.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SecureMemory::persist_block`].
+    pub fn flush_block(&mut self, block: BlockAddr, now: Time) -> Result<Time> {
+        self.check_running()?;
+        if !self.l3.probe_dirty(block) {
+            return Ok(now + self.l3.latency());
+        }
+        self.stats.persists += 1;
+        let plaintext = self
+            .plain
+            .get(&block.0)
+            .copied()
+            .unwrap_or([0; BLOCK_BYTES]);
+        let t = self.writeback_data(block, plaintext, now + self.l3.latency(), true)?;
+        self.l3.flush(block);
+        self.drain_evictions(now)?;
+        Ok(t)
+    }
+
+    // ----- convenience byte API ---------------------------------------------
+
+    /// Reads the 64-byte block containing `addr` (untimed convenience
+    /// API; advances the internal clock).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SecureMemory::load_block`].
+    pub fn read(&mut self, addr: PhysAddr) -> Result<Block> {
+        let (data, t) = self.load_block(addr.block(), self.clock)?;
+        self.clock = t;
+        Ok(data)
+    }
+
+    /// Writes `data` starting at `addr`, within one 64-byte block
+    /// (read-modify-write for partial blocks).
+    ///
+    /// # Errors
+    ///
+    /// [`SecureMemoryError::OutOfRange`] if the write would cross a
+    /// block boundary, plus the classes of
+    /// [`SecureMemory::load_block`].
+    pub fn write(&mut self, addr: PhysAddr, data: &[u8]) -> Result<()> {
+        let offset = addr.block_offset();
+        if offset + data.len() > BLOCK_BYTES {
+            return Err(SecureMemoryError::OutOfRange { addr });
+        }
+        let block = addr.block();
+        let mut buf = if data.len() == BLOCK_BYTES {
+            [0u8; BLOCK_BYTES]
+        } else {
+            let (old, t) = self.load_block(block, self.clock)?;
+            self.clock = t;
+            old
+        };
+        buf[offset..offset + data.len()].copy_from_slice(data);
+        let t = self.store_block(block, buf, self.clock)?;
+        self.clock = t;
+        Ok(())
+    }
+
+    /// Persists the block containing `addr` (`clwb + sfence`).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SecureMemory::persist_block`].
+    pub fn persist(&mut self, addr: PhysAddr) -> Result<()> {
+        let t = self.flush_block(addr.block(), self.clock)?;
+        self.clock = t;
+        Ok(())
+    }
+
+    // ----- crash and recovery ------------------------------------------------
+
+    /// Simulates a power loss: every volatile structure (caches,
+    /// plaintext, on-chip metadata values, WPQ bookkeeping) vanishes;
+    /// the NVM image and the persistent registers survive.
+    pub fn crash(&mut self) {
+        self.l3.lose_all();
+        self.ctr_cache.lose_all();
+        self.mt_cache.lose_all();
+        self.plain.clear();
+        self.counters.clear();
+        self.nodes.clear();
+        self.macs.clear();
+        self.np_written.clear();
+        self.evict_queue.clear();
+        self.epoch = None;
+        self.osiris_since.clear();
+        self.mc.crash();
+        self.state = EngineState::Crashed;
+    }
+
+    /// Recovers after a crash: replays any staged update (READY_BIT),
+    /// verifies/rebuilds the persistent region's tree from the scheme's
+    /// persist level, lazily reinitialises the non-persistent region
+    /// (§3.3.4), and bumps the session counter (§3.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecureMemoryError::Unverifiable`] when the persistent
+    /// region exists but its scheme persists no metadata (`WriteBack`);
+    /// the report is still available via the error-free path in that
+    /// case — callers that want to continue with a poisoned persistent
+    /// region can inspect the returned report instead, which is why
+    /// verification failure is reported *in* the report rather than as
+    /// an error.
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        if self.state == EngineState::Running {
+            return Ok(RecoveryReport {
+                persistent_recovered: true,
+                session: self.regs.session,
+                ..RecoveryReport::default()
+            });
+        }
+        let mut report = RecoveryReport::default();
+        // 1. Replay a torn atomic update (§3.3.5).
+        if let Some(staged) = self.regs.take_staged() {
+            for w in &staged.writes {
+                self.mc.store_mut().write(w.addr, w.data);
+            }
+            if let Some(root) = staged.new_persistent_root {
+                self.regs.persistent_root = root;
+            }
+            report.replayed_staged_writes = staged.writes.len();
+        }
+        // 2. Persistent region: rebuild and verify.
+        let p_layout = self.map.persistent().clone();
+        let mut poisoned = false;
+        if !p_layout.is_empty() {
+            match self.scheme.recovery_start_level() {
+                None => {
+                    report.persistent_recovered = false;
+                    report.unverifiable.push(CorruptRange {
+                        start: p_layout.data_base(),
+                        bytes: p_layout.data_bytes(),
+                    });
+                    poisoned = true;
+                }
+                Some(level) => {
+                    let from = level.min(p_layout.geometry.root_level().saturating_sub(1));
+                    let out = bmt::rebuild_from_level(
+                        self.mc.store_mut(),
+                        &p_layout,
+                        &self.mac_engine,
+                        from,
+                    );
+                    report.persistent_blocks_read = out.blocks_read;
+                    if out.root == self.regs.persistent_root {
+                        report.persistent_recovered = true;
+                    } else {
+                        let pin = crate::recovery::pinpoint(
+                            self.mc.store(),
+                            &p_layout,
+                            &self.mac_engine,
+                            from,
+                            &self.regs.persistent_root,
+                        );
+                        report.persistent_recovered = pin.recoverable;
+                        report.corrupt_metadata = pin.corrupt_nodes;
+                        report.unverifiable = pin.unverifiable;
+                        if pin.recoverable {
+                            // Stored upper levels were corrupt but the
+                            // rebuild from below already rewrote them.
+                            let out = bmt::rebuild_from_level(
+                                self.mc.store_mut(),
+                                &p_layout,
+                                &self.mac_engine,
+                                0,
+                            );
+                            report.persistent_blocks_read += out.blocks_read;
+                            debug_assert_eq!(out.root, self.regs.persistent_root);
+                        } else {
+                            poisoned = true;
+                        }
+                    }
+                }
+            }
+        } else {
+            report.persistent_recovered = true;
+        }
+        // 3. Non-persistent region: zero L1, rebuild above (§3.3.4).
+        let np_layout = self.map.non_persistent().clone();
+        if !np_layout.is_empty() {
+            let l1_count = np_layout.geometry.nodes_at_level(1);
+            if np_layout.geometry.root_level() > 1 {
+                for i in 0..l1_count {
+                    let addr = np_layout.bmt_node_addr(1, i).expect("L1 in memory or root");
+                    self.mc.store_mut().write(addr, [0u8; BLOCK_BYTES]);
+                }
+                report.non_persistent_blocks_written = l1_count;
+                let out =
+                    bmt::rebuild_from_level(self.mc.store_mut(), &np_layout, &self.mac_engine, 1);
+                report.non_persistent_blocks_read = out.blocks_read;
+                self.regs.non_persistent_root = out.root;
+            } else {
+                // Degenerate tree: the root's slots are the leaf
+                // sentinels; reset it directly.
+                self.regs.non_persistent_root = NodeBuf::zeroed();
+            }
+        }
+        // 4. New boot session (§3.3.2).
+        self.boot_count += 1;
+        self.regs.session += 1;
+        if self.key_policy == KeyPolicy::DualKey {
+            self.aes_volatile = Aes128::new(&derive_key(self.key_seed, 0x1000 + self.boot_count));
+        }
+        report.session = self.regs.session;
+        report.estimated_duration = Duration::from_ns(100).saturating_mul(
+            report.persistent_blocks_read
+                + report.non_persistent_blocks_read
+                + report.non_persistent_blocks_written,
+        );
+        self.state = if poisoned {
+            EngineState::PersistentPoisoned
+        } else {
+            EngineState::Running
+        };
+        Ok(report)
+    }
+
+    /// Reformats the persistent region after an unrecoverable crash
+    /// (the `WriteBack` scheme, or unverifiable corruption): all data,
+    /// counters, MACs and tree levels reset to the fresh state.
+    pub fn format_persistent(&mut self) {
+        let layout = self.map.persistent().clone();
+        let store = self.mc.store_mut();
+        for b in 0..layout.region_blocks {
+            store.write(layout.region_start + b, [0u8; BLOCK_BYTES]);
+        }
+        let out = bmt::rebuild_from_level(store, &layout, &self.mac_engine, 0);
+        self.regs.persistent_root = out.root;
+        if self.state == EngineState::PersistentPoisoned {
+            self.state = EngineState::Running;
+        }
+    }
+
+    /// Checks the engine's internal invariants, returning a list of
+    /// violations (empty = consistent). Intended for tests and
+    /// debugging; O(cached state + leaves), not O(memory contents).
+    ///
+    /// Invariants checked:
+    /// 1. volatile value maps and cache residency agree 1:1,
+    /// 2. every queued eviction victim is absent from the caches,
+    /// 3. for every *uncached* counter block, the NVM copy's hash
+    ///    matches its parent's slot (the §3.2 lazy-propagation
+    ///    invariant that makes verification sound).
+    pub fn validate_consistency(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        // 1. Map <-> cache agreement.
+        for addr in self.counters.keys() {
+            if !self.ctr_cache.probe(BlockAddr(*addr)) {
+                problems.push(format!("counter {addr:#x} in map but not cached"));
+            }
+        }
+        for addr in self.nodes.keys().chain(self.macs.keys()) {
+            if !self.mt_cache.probe(BlockAddr(*addr)) {
+                problems.push(format!("metadata {addr:#x} in map but not cached"));
+            }
+        }
+        for addr in self.plain.keys() {
+            if !self.l3.probe(BlockAddr(*addr)) {
+                problems.push(format!("plaintext {addr:#x} in map but not in L3"));
+            }
+        }
+        // 2. Queued victims are off-chip.
+        for item in &self.evict_queue {
+            let a = item.addr();
+            if self.counters.contains_key(&a.0)
+                || self.nodes.contains_key(&a.0)
+                || self.macs.contains_key(&a.0)
+                || self.plain.contains_key(&a.0)
+            {
+                problems.push(format!("queued victim {a} still resident"));
+            }
+        }
+        // 3. Uncached counters verify against their parents.
+        for kind in RegionKind::ALL {
+            let layout = self.layout(kind);
+            if layout.is_empty() {
+                continue;
+            }
+            let geom = &layout.geometry;
+            let store = self.mc.store();
+            let parent_slot = |level: u8, index: u64| -> Option<Mac64> {
+                let (pl, pi) = geom.parent(level, index);
+                let slot = geom.child_slot(index);
+                if pl == geom.root_level() {
+                    return Some(self.root(kind).slot(slot));
+                }
+                let paddr = layout.bmt_node_addr(pl, pi)?;
+                let buf = self
+                    .nodes
+                    .get(&paddr.0)
+                    .copied()
+                    .unwrap_or(NodeBuf(store.read(paddr)));
+                Some(buf.slot(slot))
+            };
+            let osiris = matches!(self.counter_persistence, CounterPersistence::Osiris { .. });
+            for leaf in 0..geom.leaves() {
+                let addr = layout.counter_start + leaf;
+                if self.counters.contains_key(&addr.0)
+                    || self.evict_queue.iter().any(|e| e.addr() == addr)
+                {
+                    continue; // on-chip copies may legitimately run ahead
+                }
+                let bytes = store.read(addr);
+                let h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &bytes);
+                match parent_slot(0, leaf) {
+                    Some(slot) if slot == h => {}
+                    Some(slot) if slot.is_zero() && kind == RegionKind::NonPersistent => {}
+                    // Osiris: the slot may legitimately run ahead of a
+                    // skipped counter persist; bounded and recoverable.
+                    Some(_) if osiris && kind == RegionKind::Persistent => {}
+                    Some(slot) => problems.push(format!(
+                        "{kind} leaf {leaf}: NVM hash {h} != parent slot {slot}"
+                    )),
+                    None => problems.push(format!("{kind} leaf {leaf}: no parent slot")),
+                }
+            }
+        }
+        problems
+    }
+
+    /// Reports every cache's and the memory controller's statistics
+    /// under standard prefixes.
+    pub fn report_stats(&self) -> StatSet {
+        let mut out = StatSet::new();
+        self.stats.report("secure.", &mut out);
+        self.l3.report("l3.", &mut out);
+        self.ctr_cache.report("ctr_cache.", &mut out);
+        self.mt_cache.report("mt_cache.", &mut out);
+        self.mc.report("mem.", &mut out);
+        let wear = self.mc.wear();
+        out.set("wear.max_writes", wear.max_writes());
+        out.set("wear.blocks_touched", wear.blocks_touched() as u64);
+        out.set("wear.imbalance_x1000", (wear.imbalance() * 1000.0) as u64);
+        out
+    }
+}

@@ -1,0 +1,419 @@
+//! The multi-core trace-driven driver (the gem5 substitute).
+//!
+//! Each core replays a [`TraceSource`] through private L1/L2 caches
+//! into the shared [`SecureMemory`] (L3 + security engine + NVM).
+//! Cores advance in simulated-time order, so contention on the shared
+//! L3, metadata caches, banks and WPQ emerges naturally. The core
+//! model is in-order with a store buffer: loads block until data
+//! returns, plain stores retire at L1 latency, persistent stores block
+//! until the whole update set is durable — the paper's effects all
+//! live below the caches, so this simple model preserves them.
+
+use triad_cache::{Cache, Replacement};
+use triad_sim::config::SystemConfig;
+use triad_sim::stats::{Histogram, StatSet};
+use triad_sim::time::Time;
+use triad_sim::trace::{MemOp, OpKind, TraceSource};
+use triad_sim::{BlockAddr, BLOCK_BYTES};
+
+use crate::engine::{Result, SecureMemory};
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreStats {
+    /// Workload name.
+    pub name: String,
+    /// Instructions retired (memory ops + gaps).
+    pub instructions: u64,
+    /// Memory operations replayed.
+    pub ops: u64,
+    /// The core's local time when it finished.
+    pub finish_time: Time,
+    /// Per-operation latency distribution, in nanoseconds (gap time
+    /// excluded: the memory-system component only).
+    pub latency_ns: Histogram,
+}
+
+impl CoreStats {
+    /// Instructions per second of simulated time.
+    pub fn ips(&self) -> f64 {
+        let secs = self.finish_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / secs
+        }
+    }
+}
+
+/// Result of a [`System::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemResult {
+    /// Per-core outcomes.
+    pub cores: Vec<CoreStats>,
+    /// Collected statistics of the shared uncore.
+    pub stats: StatSet,
+    /// Total NVM writes performed (the Figure 9 metric).
+    pub nvm_writes: u64,
+}
+
+impl SystemResult {
+    /// System throughput: total instructions over the longest core's
+    /// time (the Figure 4/8 metric, compared across schemes).
+    pub fn throughput(&self) -> f64 {
+        let wall = self
+            .cores
+            .iter()
+            .map(|c| c.finish_time)
+            .max()
+            .unwrap_or(Time::ZERO)
+            .as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.cores.iter().map(|c| c.instructions).sum::<u64>() as f64 / wall
+        }
+    }
+}
+
+struct CoreState {
+    l1: Cache,
+    l2: Cache,
+    trace: Box<dyn TraceSource>,
+    time: Time,
+    instructions: u64,
+    ops: u64,
+    done: bool,
+    latency_ns: Histogram,
+}
+
+/// A complete simulated machine: N cores over one [`SecureMemory`].
+pub struct System {
+    config: SystemConfig,
+    secure: SecureMemory,
+    cores: Vec<CoreState>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("scheme", &self.secure.scheme())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Deterministic filler for store values (workload traces carry no
+/// payloads; the pattern still exercises the full crypto path).
+fn synth_data(block: BlockAddr, seq: u64) -> [u8; BLOCK_BYTES] {
+    let mut out = [0u8; BLOCK_BYTES];
+    let mut x = block.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq;
+    for chunk in out.chunks_mut(8) {
+        x = x.rotate_left(13).wrapping_mul(0xA24B_AED4_963E_E407);
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+impl System {
+    /// Builds a system running one trace per core over `secure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than configured cores are supplied.
+    pub fn new(secure: SecureMemory, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        let config = *secure.config();
+        assert!(
+            traces.len() <= config.cores,
+            "{} traces for {} cores",
+            traces.len(),
+            config.cores
+        );
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, trace)| CoreState {
+                l1: Cache::new(format!("l1.{i}"), config.l1, Replacement::Lru),
+                l2: Cache::new(format!("l2.{i}"), config.l2, Replacement::Lru),
+                trace,
+                time: Time::ZERO,
+                instructions: 0,
+                ops: 0,
+                done: false,
+                latency_ns: Histogram::new(),
+            })
+            .collect();
+        System {
+            config,
+            secure,
+            cores,
+        }
+    }
+
+    /// The shared secure memory (inspection between runs).
+    pub fn secure(&self) -> &SecureMemory {
+        &self.secure
+    }
+
+    /// Consumes the system, returning the secure memory (e.g. to crash
+    /// and recover it after a run).
+    pub fn into_secure(self) -> SecureMemory {
+        self.secure
+    }
+
+    fn step_core(&mut self, idx: usize, op: MemOp) -> Result<()> {
+        let base_cpi = self.config.core.base_cpi_ps;
+        let core = &mut self.cores[idx];
+        let block = op.addr.block();
+        let mut t = core.time + triad_sim::time::Duration::from_ps(op.gap as u64 * base_cpi);
+        let issue = t;
+        core.instructions += op.instruction_count();
+        core.ops += 1;
+
+        // Private-cache victims that need to travel downstream.
+        let mut l2_fills: Vec<(BlockAddr, bool)> = Vec::new();
+        let mut secure_stores: Vec<BlockAddr> = Vec::new();
+
+        match op.kind {
+            OpKind::Load | OpKind::Store => {
+                let write = op.kind == OpKind::Store;
+                let l1_out = core.l1.access(block, write);
+                if let Some(v) = l1_out.victim {
+                    l2_fills.push((v.addr, v.dirty));
+                }
+                if l1_out.hit {
+                    t += core.l1.latency();
+                } else {
+                    let l2_out = core.l2.access(block, false);
+                    if let Some(v) = l2_out.victim {
+                        if v.dirty {
+                            secure_stores.push(v.addr);
+                        }
+                    }
+                    if l2_out.hit {
+                        t += core.l1.latency() + core.l2.latency();
+                    } else {
+                        // Shared L3 + security engine.
+                        let seq = core.ops;
+                        let (_, done) = self.secure.load_block(block, t)?;
+                        t = done;
+                        if write {
+                            // Write-allocate: the line is now dirty in
+                            // L1; the value reaches the engine when the
+                            // dirty line drains.
+                            let _ = seq;
+                        }
+                    }
+                }
+                if write {
+                    // Redundant for the hit path, but keeps the L1
+                    // line dirty after a miss fill as well.
+                    core.l1.access(block, true);
+                }
+            }
+            OpKind::PersistentStore => {
+                // store; clwb; sfence — blocks until durable.
+                core.l1.access(block, true);
+                core.l1.flush(block);
+                core.l2.flush(block);
+                let data = synth_data(block, core.ops);
+                let done = self.secure.persist_block(block, data, t)?;
+                t = done;
+            }
+            OpKind::Flush => {
+                let dirty_l1 = core.l1.flush(block);
+                let dirty_l2 = core.l2.flush(block);
+                if dirty_l1 || dirty_l2 {
+                    let data = synth_data(block, core.ops);
+                    self.secure.store_block(block, data, t)?;
+                }
+                let done = self.secure.flush_block(block, t)?;
+                t = done;
+            }
+        }
+
+        // Drain private-cache victims downstream (off the critical
+        // path: they consume bandwidth but don't stall the core).
+        for (addr, dirty) in l2_fills {
+            let out = core.l2.access(addr, dirty);
+            if let Some(v) = out.victim {
+                if v.dirty {
+                    secure_stores.push(v.addr);
+                }
+            }
+        }
+        let seq = core.ops;
+        core.latency_ns.record(t.since(issue).as_ns());
+        core.time = t;
+        for addr in secure_stores {
+            let data = synth_data(addr, seq);
+            self.secure.store_block(addr, data, t)?;
+        }
+        Ok(())
+    }
+
+    /// Runs every core for up to `ops_per_core` memory operations (or
+    /// until its trace ends), interleaved in time order. Returns the
+    /// aggregate result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`crate::SecureMemoryError`] raised by the
+    /// engine (integrity violations, out-of-range traces, …).
+    pub fn run(&mut self, ops_per_core: u64) -> Result<SystemResult> {
+        // Advance the earliest non-finished core until all are done.
+        while let Some(idx) = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.done)
+            .min_by_key(|(_, c)| c.time)
+            .map(|(i, _)| i)
+        {
+            let core = &mut self.cores[idx];
+            if core.ops >= ops_per_core {
+                core.done = true;
+                continue;
+            }
+            match core.trace.next_op() {
+                None => {
+                    core.done = true;
+                }
+                Some(op) => {
+                    self.step_core(idx, op)?;
+                }
+            }
+        }
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| CoreStats {
+                name: c.trace.name().to_string(),
+                instructions: c.instructions,
+                ops: c.ops,
+                finish_time: c.time,
+                latency_ns: c.latency_ns.clone(),
+            })
+            .collect();
+        let stats = self.secure.report_stats();
+        Ok(SystemResult {
+            cores,
+            nvm_writes: self.secure.mem_stats().writes,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SecureMemoryBuilder;
+    use crate::scheme::PersistScheme;
+    use triad_sim::trace::VecTrace;
+    use triad_sim::PhysAddr;
+
+    fn mem(scheme: PersistScheme) -> SecureMemory {
+        SecureMemoryBuilder::new().scheme(scheme).build().unwrap()
+    }
+
+    fn simple_trace(name: &str, base: PhysAddr, n: u64, persist: bool) -> Box<dyn TraceSource> {
+        let ops = (0..n)
+            .map(|i| {
+                let addr = PhysAddr(base.0 + (i % 64) * 64);
+                if persist {
+                    MemOp::persist(addr, 10)
+                } else if i % 2 == 0 {
+                    MemOp::store(addr, 10)
+                } else {
+                    MemOp::load(addr, 10)
+                }
+            })
+            .collect();
+        Box::new(VecTrace::new(name, ops))
+    }
+
+    #[test]
+    fn runs_a_simple_workload() {
+        let m = mem(PersistScheme::triad_nvm(1));
+        let np = m.non_persistent_region().start();
+        let mut sys = System::new(m, vec![simple_trace("t", np, 100, false)]);
+        let r = sys.run(100).unwrap();
+        assert_eq!(r.cores[0].ops, 100);
+        assert!(r.cores[0].instructions >= 100);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn persists_slow_execution_down() {
+        let run = |scheme| {
+            let m = mem(scheme);
+            let p = m.persistent_region().start();
+            let mut sys = System::new(m, vec![simple_trace("p", p, 200, true)]);
+            sys.run(200).unwrap().cores[0].finish_time
+        };
+        let strict = run(PersistScheme::Strict);
+        let t1 = run(PersistScheme::triad_nvm(1));
+        assert!(
+            strict > t1,
+            "strict ({strict}) must be slower than TriadNVM-1 ({t1})"
+        );
+    }
+
+    #[test]
+    fn scheme_changes_metadata_write_counts() {
+        // Physical NVM writes can coalesce in the WPQ, so compare the
+        // logical metadata writes each scheme issues.
+        let writes = |scheme| {
+            let m = mem(scheme);
+            let p = m.persistent_region().start();
+            let mut sys = System::new(m, vec![simple_trace("p", p, 200, true)]);
+            sys.run(200)
+                .unwrap()
+                .stats
+                .get("secure.persist_metadata_writes")
+        };
+        let strict = writes(PersistScheme::Strict);
+        let t1 = writes(PersistScheme::triad_nvm(1));
+        let t2 = writes(PersistScheme::triad_nvm(2));
+        assert!(strict > t2, "strict {strict} > t2 {t2}");
+        assert!(t2 > t1, "t2 {t2} > t1 {t1}");
+    }
+
+    #[test]
+    fn multiple_cores_interleave() {
+        let m = mem(PersistScheme::triad_nvm(1));
+        let np = m.non_persistent_region().start();
+        let p = m.persistent_region().start();
+        let mut sys = System::new(
+            m,
+            vec![
+                simple_trace("a", np, 50, false),
+                simple_trace("b", p, 50, true),
+            ],
+        );
+        let r = sys.run(50).unwrap();
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores.iter().all(|c| c.ops == 50));
+        assert!(r.stats.get("secure.persists") >= 50);
+    }
+
+    #[test]
+    fn trace_exhaustion_stops_early() {
+        let m = mem(PersistScheme::triad_nvm(1));
+        let np = m.non_persistent_region().start();
+        let mut sys = System::new(m, vec![simple_trace("t", np, 10, false)]);
+        let r = sys.run(1000).unwrap();
+        assert_eq!(r.cores[0].ops, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "traces for")]
+    fn too_many_traces_panics() {
+        let m = mem(PersistScheme::triad_nvm(1));
+        let np = m.non_persistent_region().start();
+        let traces: Vec<Box<dyn TraceSource>> = (0..9)
+            .map(|i| simple_trace(&format!("t{i}"), np, 1, false))
+            .collect();
+        System::new(m, traces);
+    }
+}

@@ -1,0 +1,142 @@
+//! The epoch-persistency extension (Liu et al.'s relaxation, which the
+//! paper cites as orthogonal to Triad-NVM): persists inside an epoch
+//! are deferred and write-combined; durability is guaranteed only at
+//! the epoch boundary.
+
+use triad_core::{PersistScheme, SecureMemoryBuilder};
+use triad_sim::{PhysAddr, Time};
+
+fn build() -> triad_core::SecureMemory {
+    SecureMemoryBuilder::new()
+        .scheme(PersistScheme::triad_nvm(2))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn epoch_defers_and_combines_persists() {
+    let mut m = build();
+    let p = m.persistent_region().start();
+    m.begin_epoch();
+    assert!(m.epoch_open());
+    // 50 persists of the same block inside one epoch…
+    for i in 0..50u64 {
+        m.persist_block(
+            p.block(),
+            {
+                let mut b = [0u8; 64];
+                b[..8].copy_from_slice(&i.to_le_bytes());
+                b
+            },
+            Time::ZERO,
+        )
+        .unwrap();
+    }
+    // …perform no atomic metadata persists until the boundary.
+    assert_eq!(m.stats().atomic_persists, 0);
+    m.end_epoch(Time::ZERO).unwrap();
+    assert!(!m.epoch_open());
+    // Exactly one combined write-back.
+    assert_eq!(m.stats().atomic_persists, 1);
+    assert_eq!(m.stats().epochs, 1);
+    // And it is durable.
+    m.crash();
+    assert!(m.recover().unwrap().persistent_recovered);
+    assert_eq!(&m.read(p).unwrap()[..8], &49u64.to_le_bytes());
+}
+
+#[test]
+fn epoch_boundary_guarantees_every_member() {
+    let mut m = build();
+    let p = m.persistent_region().start();
+    m.begin_epoch();
+    for i in 0..16u64 {
+        let a = PhysAddr(p.0 + i * 4096);
+        m.write(a, &i.to_le_bytes()).unwrap();
+        m.persist_block(
+            a.block(),
+            {
+                let mut b = [0u8; 64];
+                b[..8].copy_from_slice(&i.to_le_bytes());
+                b
+            },
+            Time::ZERO,
+        )
+        .unwrap();
+    }
+    m.end_epoch(Time::ZERO).unwrap();
+    m.crash();
+    m.recover().unwrap();
+    for i in 0..16u64 {
+        let a = PhysAddr(p.0 + i * 4096);
+        assert_eq!(&m.read(a).unwrap()[..8], &i.to_le_bytes(), "block {i}");
+    }
+}
+
+#[test]
+fn crash_inside_epoch_may_lose_its_persists_but_stays_consistent() {
+    let mut m = build();
+    let p = m.persistent_region().start();
+    // Pre-epoch durable baseline.
+    m.write(p, b"baseline").unwrap();
+    m.persist(p).unwrap();
+    m.begin_epoch();
+    m.persist_block(p.block(), [7u8; 64], Time::ZERO).unwrap();
+    // Crash before the boundary: the deferred persist is allowed to be
+    // lost, but recovery must verify and the baseline must remain.
+    m.crash();
+    let report = m.recover().unwrap();
+    assert!(report.persistent_recovered, "{report:?}");
+    let data = m.read(p).unwrap();
+    assert!(
+        &data[..8] == b"baseline" || data == [7u8; 64],
+        "either pre-epoch or (if naturally evicted) epoch value: {data:?}"
+    );
+    assert!(!m.epoch_open(), "crash closes the epoch");
+}
+
+#[test]
+fn end_epoch_without_begin_is_a_no_op() {
+    let mut m = build();
+    let t = m.end_epoch(Time::ZERO).unwrap();
+    assert_eq!(t, Time::ZERO);
+    assert_eq!(m.stats().epochs, 0);
+}
+
+#[test]
+#[should_panic(expected = "epoch already open")]
+fn nested_epochs_rejected() {
+    let mut m = build();
+    m.begin_epoch();
+    m.begin_epoch();
+}
+
+#[test]
+fn epoch_reduces_metadata_write_traffic() {
+    // Same workload, per-persist vs one epoch: the epoch must issue
+    // far fewer metadata persists (the Liu et al. win).
+    let run = |epoch: bool| {
+        let mut m = build();
+        let p = m.persistent_region().start();
+        if epoch {
+            m.begin_epoch();
+        }
+        for i in 0..200u64 {
+            // 200 persists over 8 hot blocks.
+            let a = PhysAddr(p.0 + (i % 8) * 64);
+            let mut b = [0u8; 64];
+            b[..8].copy_from_slice(&i.to_le_bytes());
+            m.persist_block(a.block(), b, Time::ZERO).unwrap();
+        }
+        if epoch {
+            m.end_epoch(Time::ZERO).unwrap();
+        }
+        m.stats().persist_metadata_writes()
+    };
+    let strict = run(false);
+    let epoch = run(true);
+    assert!(
+        epoch * 10 <= strict,
+        "epoch ({epoch}) should cut metadata persists ≥10× vs per-op ({strict})"
+    );
+}

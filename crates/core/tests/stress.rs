@@ -1,0 +1,156 @@
+//! Stress tests with pathologically small metadata caches: every
+//! operation triggers eviction chains through the counter/MT caches,
+//! exercising the queued-writeback machinery, reclaim of in-flight
+//! victims, and the lazy parent-slot propagation discipline (§3.2) far
+//! beyond what the Table 1 geometry would.
+
+use triad_core::{PersistScheme, SecureMemoryBuilder};
+use triad_sim::config::{CacheConfig, CounterMode, SystemConfig};
+use triad_sim::PhysAddr;
+
+fn stress_config() -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    // 4 lines each: constant thrash.
+    cfg.security.counter_cache = CacheConfig::new(4 * 64, 2, 3);
+    cfg.security.mt_cache = CacheConfig::new(4 * 64, 2, 3);
+    cfg.l3 = CacheConfig::new(8 * 64, 2, 32);
+    cfg
+}
+
+fn build(scheme: PersistScheme) -> triad_core::SecureMemory {
+    SecureMemoryBuilder::new()
+        .config(stress_config())
+        .scheme(scheme)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn thrashing_metadata_caches_stay_verifiable() {
+    for scheme in [
+        PersistScheme::WriteBack,
+        PersistScheme::triad_nvm(1),
+        PersistScheme::triad_nvm(3),
+        PersistScheme::Strict,
+    ] {
+        let mut m = build(scheme);
+        let p = m.persistent_region().start();
+        let np = m.non_persistent_region().start();
+        let p_len = m.persistent_region().len_bytes();
+        let np_len = m.non_persistent_region().len_bytes();
+        // Interleave regions and strides so counters, MACs and nodes
+        // from many subtrees fight over 4-line caches.
+        for i in 0..3000u64 {
+            let pa = PhysAddr(p.0 + (i * 37 * 64) % p_len);
+            let na = PhysAddr(np.0 + (i * 53 * 64) % np_len);
+            m.write(pa, &i.to_le_bytes()).unwrap();
+            m.write(na, &i.to_le_bytes()).unwrap();
+            if i % 7 == 0 {
+                m.persist(pa).unwrap();
+            }
+            if i % 11 == 0 {
+                let back = PhysAddr(p.0 + ((i / 2) * 37 * 64) % p_len);
+                let _ = m.read(back).unwrap();
+            }
+        }
+        // Heavy eviction traffic must have happened…
+        assert!(
+            m.stats().evict_metadata_writes() > 100,
+            "{scheme}: {:?}",
+            m.stats()
+        );
+        // …and every block must still read back consistently.
+        let mut failures = 0;
+        for i in (0..3000u64).step_by(97) {
+            let pa = PhysAddr(p.0 + (i * 37 * 64) % p_len);
+            if m.read(pa).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "{scheme}: integrity violations under thrash");
+        // The engine's own invariant checker agrees.
+        let problems = m.validate_consistency();
+        assert!(problems.is_empty(), "{scheme}: {problems:?}");
+    }
+}
+
+#[test]
+fn thrash_then_crash_then_recover() {
+    let mut m = build(PersistScheme::triad_nvm(2));
+    let p = m.persistent_region().start();
+    let p_len = m.persistent_region().len_bytes();
+    let mut persisted = Vec::new();
+    for i in 0..1500u64 {
+        let pa = PhysAddr(p.0 + (i * 41 * 64) % p_len);
+        m.write(pa, &i.to_le_bytes()).unwrap();
+        if i % 5 == 0 {
+            m.persist(pa).unwrap();
+            persisted.push((pa, i));
+        }
+    }
+    m.crash();
+    let report = m.recover().unwrap();
+    assert!(report.persistent_recovered, "{report:?}");
+    // Every persisted value (that was not later overwritten through
+    // the same address) must be at least as new as when persisted.
+    let mut newest = std::collections::HashMap::new();
+    for (pa, i) in persisted {
+        newest.insert(pa.0, i);
+    }
+    for (&addr, &floor) in &newest {
+        let got = m.read(PhysAddr(addr)).unwrap();
+        let value = u64::from_le_bytes(got[..8].try_into().unwrap());
+        assert!(
+            value >= floor,
+            "addr {addr:#x}: {value} rolled back below {floor}"
+        );
+    }
+}
+
+#[test]
+fn monolithic_counters_survive_thrash_and_crash() {
+    let mut cfg = stress_config();
+    cfg.security.counter_mode = CounterMode::Monolithic;
+    let mut m = SecureMemoryBuilder::new()
+        .config(cfg)
+        .scheme(PersistScheme::triad_nvm(2))
+        .build()
+        .unwrap();
+    let p = m.persistent_region().start();
+    let p_len = m.persistent_region().len_bytes();
+    for i in 0..800u64 {
+        let pa = PhysAddr(p.0 + (i * 29 * 64) % p_len);
+        m.write(pa, &i.to_le_bytes()).unwrap();
+        if i % 4 == 0 {
+            m.persist(pa).unwrap();
+        }
+    }
+    let problems = m.validate_consistency();
+    assert!(problems.is_empty(), "{problems:?}");
+    m.crash();
+    assert!(m.recover().unwrap().persistent_recovered);
+}
+
+#[test]
+fn repeated_crashes_under_thrash_never_wedge() {
+    let mut m = build(PersistScheme::triad_nvm(1));
+    let p = m.persistent_region().start();
+    let p_len = m.persistent_region().len_bytes();
+    for round in 0..10u64 {
+        for i in 0..200u64 {
+            let pa = PhysAddr(p.0 + ((round * 977 + i * 31) * 64) % p_len);
+            m.write(pa, &(round * 1000 + i).to_le_bytes()).unwrap();
+            if i % 3 == 0 {
+                m.persist(pa).unwrap();
+            }
+        }
+        m.crash();
+        assert!(
+            m.recover().unwrap().persistent_recovered,
+            "round {round} failed to recover"
+        );
+        let problems = m.validate_consistency();
+        assert!(problems.is_empty(), "round {round}: {problems:?}");
+    }
+    assert_eq!(m.session(), 11);
+}

@@ -1,0 +1,473 @@
+//! Encryption-counter block formats.
+//!
+//! The paper assumes the *split-counter* organisation of Yan et al.
+//! (MICRO'06): one 64 B counter block covers a 4 KiB page and packs a
+//! shared 64-bit **major** counter plus 64 per-block 7-bit **minor**
+//! counters (8 B + 56 B = 64 B). When a minor counter overflows, the
+//! major counter is incremented, every minor counter resets to zero and
+//! the whole page must be re-encrypted.
+//!
+//! A monolithic per-block 64-bit counter is provided for comparison
+//! (it is what SGX-style designs use, at 8× the space).
+
+use std::fmt;
+
+/// Number of minor counters per split-counter block (one per 64 B data
+/// block of a 4 KiB page).
+pub const MINORS_PER_BLOCK: usize = 64;
+
+/// Maximum value of a 7-bit minor counter.
+pub const MINOR_MAX: u8 = 127;
+
+/// Outcome of incrementing a counter for one data-block write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementOutcome {
+    /// The minor counter advanced; only this data block re-encrypts.
+    Minor,
+    /// The minor counter overflowed: the major counter advanced, all
+    /// minors reset, and the **whole page** must be re-encrypted.
+    MajorOverflow,
+}
+
+/// A 64-byte split-counter block: 64-bit major + 64 × 7-bit minors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitCounterBlock {
+    major: u64,
+    /// Each entry is `0..=127`; stored unpacked for speed, packed to
+    /// 7 bits in the serialised form.
+    minors: [u8; MINORS_PER_BLOCK],
+}
+
+impl Default for SplitCounterBlock {
+    fn default() -> Self {
+        SplitCounterBlock {
+            major: 0,
+            minors: [0; MINORS_PER_BLOCK],
+        }
+    }
+}
+
+impl SplitCounterBlock {
+    /// A fresh counter block with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The minor counter for data block `index` of the page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn minor(&self, index: usize) -> u8 {
+        self.minors[index]
+    }
+
+    /// Increments the counter for data block `index`, returning whether
+    /// the increment stayed minor or overflowed into the major counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    pub fn increment(&mut self, index: usize) -> IncrementOutcome {
+        if self.minors[index] == MINOR_MAX {
+            self.major += 1;
+            self.minors = [0; MINORS_PER_BLOCK];
+            // The written block consumes the first value of the new
+            // epoch so two consecutive writes never share (major, minor).
+            self.minors[index] = 1;
+            IncrementOutcome::MajorOverflow
+        } else {
+            self.minors[index] += 1;
+            IncrementOutcome::Minor
+        }
+    }
+
+    /// Serialises into the 64-byte memory layout: major counter in the
+    /// first 8 bytes (little-endian), then the 64 minors packed 7 bits
+    /// each into the remaining 56 bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        let mut bit = 0usize;
+        for &m in &self.minors {
+            let byte = 8 + bit / 8;
+            let off = bit % 8;
+            out[byte] |= m << off;
+            if off > 1 {
+                // 7 bits spill into the next byte when offset > 1.
+                out[byte + 1] |= m >> (8 - off);
+            }
+            bit += 7;
+        }
+        out
+    }
+
+    /// Deserialises from the 64-byte memory layout.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let major = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let mut minors = [0u8; MINORS_PER_BLOCK];
+        let mut bit = 0usize;
+        for m in &mut minors {
+            let byte = 8 + bit / 8;
+            let off = bit % 8;
+            let mut v = (bytes[byte] >> off) as u16;
+            if off > 1 {
+                v |= (bytes[byte + 1] as u16) << (8 - off);
+            }
+            *m = (v & 0x7f) as u8;
+            bit += 7;
+        }
+        SplitCounterBlock { major, minors }
+    }
+}
+
+impl fmt::Display for SplitCounterBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "split(major={}, minors=[", self.major)?;
+        for (i, m) in self.minors.iter().enumerate().take(4) {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, ",…])")
+    }
+}
+
+/// A monolithic 64-bit per-block counter (the SGX-style alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MonolithicCounter(pub u64);
+
+impl MonolithicCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments, panicking on the (practically unreachable) overflow
+    /// that would force whole-memory re-encryption.
+    pub fn increment(&mut self) {
+        self.0 = self
+            .0
+            .checked_add(1)
+            .expect("64-bit monolithic counter overflow: re-key required");
+    }
+}
+
+impl fmt::Display for MonolithicCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mono({})", self.0)
+    }
+}
+
+/// A 64-byte block of eight monolithic 64-bit counters (SGX-style):
+/// each covers one data block, so one counter block spans 512 B of
+/// data instead of a split block's 4 KiB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MonolithicCounterBlock {
+    counters: [u64; 8],
+}
+
+impl MonolithicCounterBlock {
+    /// A fresh block with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter for data slot `index` (`0..8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn counter(&self, index: usize) -> u64 {
+        self.counters[index]
+    }
+
+    /// Increments the counter for slot `index`. Monolithic counters
+    /// never trigger page re-encryption (a 64-bit counter does not
+    /// overflow in the life of the system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`, or on the astronomically unreachable
+    /// 64-bit overflow.
+    pub fn increment(&mut self, index: usize) -> IncrementOutcome {
+        self.counters[index] = self.counters[index]
+            .checked_add(1)
+            .expect("64-bit counter overflow: re-key required");
+        IncrementOutcome::Minor
+    }
+
+    /// Serialises to the 64-byte memory layout (little-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, c) in self.counters.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises from the 64-byte memory layout.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        let mut counters = [0u64; 8];
+        for (i, c) in counters.iter_mut().enumerate() {
+            *c = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        MonolithicCounterBlock { counters }
+    }
+}
+
+impl fmt::Display for MonolithicCounterBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mono[{},{},…]", self.counters[0], self.counters[1])
+    }
+}
+
+/// A counter block in either organisation — what the secure engine's
+/// counter cache actually holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnyCounterBlock {
+    /// Split organisation (64 data blocks per counter block).
+    Split(SplitCounterBlock),
+    /// Monolithic organisation (8 data blocks per counter block).
+    Mono(MonolithicCounterBlock),
+}
+
+impl AnyCounterBlock {
+    /// A fresh all-zero block of the given organisation
+    /// (`true` = split).
+    pub fn fresh(split: bool) -> Self {
+        if split {
+            AnyCounterBlock::Split(SplitCounterBlock::new())
+        } else {
+            AnyCounterBlock::Mono(MonolithicCounterBlock::new())
+        }
+    }
+
+    /// Number of data blocks one counter block covers.
+    pub fn coverage(&self) -> usize {
+        match self {
+            AnyCounterBlock::Split(_) => MINORS_PER_BLOCK,
+            AnyCounterBlock::Mono(_) => 8,
+        }
+    }
+
+    /// The `(major, minor)` IV pair for data slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the coverage.
+    pub fn pair(&self, index: usize) -> CounterBlock {
+        match self {
+            AnyCounterBlock::Split(b) => CounterBlock::of_split(b, index),
+            AnyCounterBlock::Mono(b) => CounterBlock {
+                major: b.counter(index),
+                minor: 0,
+            },
+        }
+    }
+
+    /// Increments the counter for slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the coverage.
+    pub fn increment(&mut self, index: usize) -> IncrementOutcome {
+        match self {
+            AnyCounterBlock::Split(b) => b.increment(index),
+            AnyCounterBlock::Mono(b) => b.increment(index),
+        }
+    }
+
+    /// Serialises to the 64-byte memory layout.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        match self {
+            AnyCounterBlock::Split(b) => b.to_bytes(),
+            AnyCounterBlock::Mono(b) => b.to_bytes(),
+        }
+    }
+
+    /// Deserialises a block of the given organisation.
+    pub fn from_bytes(split: bool, bytes: &[u8; 64]) -> Self {
+        if split {
+            AnyCounterBlock::Split(SplitCounterBlock::from_bytes(bytes))
+        } else {
+            AnyCounterBlock::Mono(MonolithicCounterBlock::from_bytes(bytes))
+        }
+    }
+}
+
+/// Either counter organisation, as seen by the encryption engine: the
+/// pair that parameterises the IV for one data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterBlock {
+    /// Major (or whole, for monolithic) counter value.
+    pub major: u64,
+    /// Minor counter value (zero for monolithic).
+    pub minor: u8,
+}
+
+impl CounterBlock {
+    /// The (major, minor) pair for block `index` of a split block.
+    pub fn of_split(block: &SplitCounterBlock, index: usize) -> Self {
+        CounterBlock {
+            major: block.major(),
+            minor: block.minor(index),
+        }
+    }
+
+    /// The pair for a monolithic counter.
+    pub fn of_monolithic(counter: MonolithicCounter) -> Self {
+        CounterBlock {
+            major: counter.0,
+            minor: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_zero() {
+        let b = SplitCounterBlock::new();
+        assert_eq!(b.major(), 0);
+        assert!((0..64).all(|i| b.minor(i) == 0));
+    }
+
+    #[test]
+    fn minor_increment() {
+        let mut b = SplitCounterBlock::new();
+        assert_eq!(b.increment(3), IncrementOutcome::Minor);
+        assert_eq!(b.minor(3), 1);
+        assert_eq!(b.minor(2), 0);
+        assert_eq!(b.major(), 0);
+    }
+
+    #[test]
+    fn overflow_resets_page() {
+        let mut b = SplitCounterBlock::new();
+        for _ in 0..MINOR_MAX {
+            b.increment(5);
+        }
+        b.increment(9); // some other block's state must also reset
+        assert_eq!(b.minor(5), MINOR_MAX);
+        assert_eq!(b.increment(5), IncrementOutcome::MajorOverflow);
+        assert_eq!(b.major(), 1);
+        assert_eq!(b.minor(5), 1, "written block consumes first new value");
+        assert_eq!(b.minor(9), 0, "other minors reset");
+    }
+
+    #[test]
+    fn no_counter_pair_reuse_across_overflow() {
+        // The fundamental security property: consecutive writes to one
+        // block never produce the same (major, minor) pair.
+        let mut b = SplitCounterBlock::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            b.increment(0);
+            let pair = (b.major(), b.minor(0));
+            assert!(seen.insert(pair), "counter pair {pair:?} reused");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut b = SplitCounterBlock::new();
+        for i in 0..64 {
+            for _ in 0..(i % 11) {
+                b.increment(i);
+            }
+        }
+        b.major = 0xDEAD_BEEF_CAFE_F00D;
+        let bytes = b.to_bytes();
+        assert_eq!(SplitCounterBlock::from_bytes(&bytes), b);
+    }
+
+    #[test]
+    fn packed_layout_is_exactly_64_bytes_and_dense() {
+        let mut b = SplitCounterBlock::new();
+        b.minors = [MINOR_MAX; 64];
+        b.major = u64::MAX;
+        let bytes = b.to_bytes();
+        // All 8 + 56 bytes carry payload when everything is maxed.
+        assert!(bytes.iter().all(|&x| x == 0xFF), "{bytes:?}");
+        assert_eq!(SplitCounterBlock::from_bytes(&bytes), b);
+    }
+
+    #[test]
+    fn display_forms() {
+        let b = SplitCounterBlock::new();
+        assert!(b.to_string().starts_with("split(major=0"));
+        assert_eq!(MonolithicCounter(7).to_string(), "mono(7)");
+    }
+
+    #[test]
+    fn monolithic_block_round_trip_and_coverage() {
+        let mut b = MonolithicCounterBlock::new();
+        assert_eq!(b.increment(3), IncrementOutcome::Minor);
+        b.increment(3);
+        b.increment(7);
+        assert_eq!(b.counter(3), 2);
+        assert_eq!(b.counter(7), 1);
+        assert_eq!(MonolithicCounterBlock::from_bytes(&b.to_bytes()), b);
+        assert!(b.to_string().starts_with("mono["));
+    }
+
+    #[test]
+    fn any_counter_block_unifies_both_modes() {
+        let mut split = AnyCounterBlock::fresh(true);
+        let mut mono = AnyCounterBlock::fresh(false);
+        assert_eq!(split.coverage(), 64);
+        assert_eq!(mono.coverage(), 8);
+        split.increment(5);
+        mono.increment(5);
+        assert_eq!(split.pair(5), CounterBlock { major: 0, minor: 1 });
+        assert_eq!(mono.pair(5), CounterBlock { major: 1, minor: 0 });
+        for (b, is_split) in [(split, true), (mono, false)] {
+            let bytes = b.to_bytes();
+            assert_eq!(AnyCounterBlock::from_bytes(is_split, &bytes), b);
+        }
+    }
+
+    #[test]
+    fn monolithic_never_overflows_a_page() {
+        let mut b = AnyCounterBlock::fresh(false);
+        for _ in 0..1000 {
+            assert_eq!(b.increment(0), IncrementOutcome::Minor);
+        }
+        assert_eq!(
+            b.pair(0),
+            CounterBlock {
+                major: 1000,
+                minor: 0
+            }
+        );
+    }
+
+    #[test]
+    fn monolithic_increment() {
+        let mut c = MonolithicCounter::new();
+        c.increment();
+        assert_eq!(c, MonolithicCounter(1));
+        assert_eq!(
+            CounterBlock::of_monolithic(c),
+            CounterBlock { major: 1, minor: 0 }
+        );
+    }
+
+    #[test]
+    fn counter_pair_extraction() {
+        let mut b = SplitCounterBlock::new();
+        b.increment(2);
+        b.increment(2);
+        let pair = CounterBlock::of_split(&b, 2);
+        assert_eq!(pair, CounterBlock { major: 0, minor: 2 });
+    }
+}

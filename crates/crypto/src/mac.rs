@@ -1,0 +1,155 @@
+//! Per-block message authentication codes.
+//!
+//! Every data block is protected by an 8-byte MAC binding the
+//! *ciphertext*, the block's *address* and its *counter value* (§2.1.2:
+//! with a BMT over the counters, data needs only a MAC, not tree
+//! coverage). Eight MACs pack into one 64 B MAC block in memory.
+
+use crate::ctr::Iv;
+use crate::siphash::SipHash24;
+
+/// An 8-byte MAC tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Mac64(pub u64);
+
+impl Mac64 {
+    /// The all-zero tag, used by lazy recovery (§3.3.4) as the
+    /// "uninitialised" sentinel.
+    pub const ZERO: Mac64 = Mac64(0);
+
+    /// Whether this is the lazy-recovery sentinel.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Serialises little-endian.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserialises little-endian.
+    pub fn from_bytes(bytes: [u8; 8]) -> Self {
+        Mac64(u64::from_le_bytes(bytes))
+    }
+}
+
+impl std::fmt::Display for Mac64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mac:{:016x}", self.0)
+    }
+}
+
+/// The keyed MAC engine of the secure memory controller.
+#[derive(Debug, Clone, Copy)]
+pub struct MacEngine {
+    prf: SipHash24,
+}
+
+impl MacEngine {
+    /// Creates an engine from a 128-bit MAC key.
+    pub fn new(key: [u8; 16]) -> Self {
+        MacEngine {
+            prf: SipHash24::new(key),
+        }
+    }
+
+    /// MAC over one data block: `H(k, block_addr ‖ ciphertext ‖ iv)`.
+    ///
+    /// Binding the IV (hence the counter) means rolling data *and* MAC
+    /// back together is still detected unless the counter also rolls
+    /// back — which the BMT over counters prevents.
+    pub fn data_mac(&self, block_addr: u64, ciphertext: &[u8; 64], iv: &Iv) -> Mac64 {
+        let mut buf = [0u8; 8 + 64 + 8 + 8];
+        buf[..8].copy_from_slice(&block_addr.to_le_bytes());
+        buf[8..72].copy_from_slice(ciphertext);
+        buf[72..80].copy_from_slice(&iv.major.to_le_bytes());
+        buf[80] = iv.minor;
+        buf[81..85].copy_from_slice(&iv.session.to_le_bytes());
+        Mac64(self.prf.hash(&buf))
+    }
+
+    /// 64 B → 8 B hash of a Merkle-tree child node (or counter block),
+    /// bound to the child's metadata address to prevent relocation.
+    pub fn node_mac(&self, node_addr: u64, node: &[u8; 64]) -> Mac64 {
+        let mut buf = [0u8; 8 + 64];
+        buf[..8].copy_from_slice(&node_addr.to_le_bytes());
+        buf[8..].copy_from_slice(node);
+        Mac64(self.prf.hash(&buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> MacEngine {
+        MacEngine::new([3u8; 16])
+    }
+
+    #[test]
+    fn deterministic() {
+        let iv = Iv::new(1, 2, 3, 4, 0);
+        let data = [7u8; 64];
+        assert_eq!(
+            engine().data_mac(0x40, &data, &iv),
+            engine().data_mac(0x40, &data, &iv)
+        );
+    }
+
+    #[test]
+    fn detects_data_tampering() {
+        let iv = Iv::new(1, 2, 3, 4, 0);
+        let a = [7u8; 64];
+        let mut b = a;
+        b[13] ^= 0x80;
+        assert_ne!(
+            engine().data_mac(0x40, &a, &iv),
+            engine().data_mac(0x40, &b, &iv)
+        );
+    }
+
+    #[test]
+    fn detects_relocation() {
+        let iv = Iv::new(1, 2, 3, 4, 0);
+        let data = [7u8; 64];
+        assert_ne!(
+            engine().data_mac(0x40, &data, &iv),
+            engine().data_mac(0x80, &data, &iv)
+        );
+    }
+
+    #[test]
+    fn detects_counter_rollback() {
+        let data = [7u8; 64];
+        let new = Iv::new(1, 2, 3, 5, 0);
+        let old = Iv::new(1, 2, 3, 4, 0);
+        assert_ne!(
+            engine().data_mac(0x40, &data, &new),
+            engine().data_mac(0x40, &data, &old)
+        );
+    }
+
+    #[test]
+    fn node_mac_binds_address() {
+        let n = [9u8; 64];
+        assert_ne!(engine().node_mac(0, &n), engine().node_mac(64, &n));
+    }
+
+    #[test]
+    fn mac64_bytes_round_trip() {
+        let m = Mac64(0x0123_4567_89AB_CDEF);
+        assert_eq!(Mac64::from_bytes(m.to_bytes()), m);
+        assert!(Mac64::ZERO.is_zero());
+        assert!(!m.is_zero());
+        assert_eq!(m.to_string(), "mac:0123456789abcdef");
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let iv = Iv::default();
+        let data = [0u8; 64];
+        let a = MacEngine::new([1; 16]).data_mac(0, &data, &iv);
+        let b = MacEngine::new([2; 16]).data_mac(0, &data, &iv);
+        assert_ne!(a, b);
+    }
+}

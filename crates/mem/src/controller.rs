@@ -1,0 +1,410 @@
+//! The memory controller: read servicing and the ADR write-pending
+//! queue (WPQ).
+//!
+//! The WPQ is the paper's persistence-domain boundary (§3.2): a write
+//! *accepted* into the WPQ is guaranteed durable — on power loss,
+//! residual energy drains the queue. The simulator makes this concrete
+//! by updating the functional store at acceptance time while the timing
+//! model separately charges the drain to the PCM banks. When the WPQ is
+//! full, acceptance stalls until an entry drains: this back-pressure is
+//! the mechanism by which metadata-persistence write amplification
+//! slows down execution (Figures 4 and 8).
+
+use crate::store::{Block, SparseStore};
+use crate::timing::{PcmTiming, RowOutcome};
+use crate::wearlevel::StartGap;
+use triad_sim::config::MemConfig;
+use triad_sim::stats::{StatSet, StatSink};
+use triad_sim::time::{Duration, Time};
+use triad_sim::BlockAddr;
+
+/// Memory-controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Read requests serviced.
+    pub reads: u64,
+    /// Write requests accepted into the WPQ.
+    pub writes: u64,
+    /// Row-buffer hits (reads + writes).
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+    /// Times a write found the WPQ full.
+    pub wpq_full_events: u64,
+    /// Writes absorbed by an already-pending WPQ entry for the same
+    /// block (the queue is coherent per cacheline, so back-to-back
+    /// writes to a hot metadata block cost one drain).
+    pub wpq_coalesced: u64,
+    /// Total time writers spent stalled on a full WPQ.
+    pub wpq_stall: Duration,
+    /// Reads that were forwarded from a pending WPQ entry.
+    pub wpq_forwards: u64,
+}
+
+/// Per-block write-endurance accounting (PCM cells wear out after
+/// ~10⁷–10⁸ writes; reducing metadata writes is one of the paper's
+/// motivations for relaxed persistence).
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    writes: std::collections::HashMap<u64, u64>,
+}
+
+impl WearTracker {
+    /// Records one physical write to `addr`.
+    pub fn record(&mut self, addr: BlockAddr) {
+        *self.writes.entry(addr.0).or_insert(0) += 1;
+    }
+
+    /// Writes absorbed by the most-written block (the wear hot spot).
+    pub fn max_writes(&self) -> u64 {
+        self.writes.values().copied().max().unwrap_or(0)
+    }
+
+    /// Mean writes over blocks that were written at all.
+    pub fn mean_writes(&self) -> f64 {
+        if self.writes.is_empty() {
+            return 0.0;
+        }
+        self.writes.values().sum::<u64>() as f64 / self.writes.len() as f64
+    }
+
+    /// Number of distinct blocks ever written.
+    pub fn blocks_touched(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Wear imbalance: max over mean (1.0 = perfectly even). High
+    /// values mean hot metadata blocks (counters, tree roots' children)
+    /// burn out first — the case for wear levelling.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_writes();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_writes() as f64 / mean
+        }
+    }
+
+    /// The `n` most-written blocks, descending.
+    pub fn hottest(&self, n: usize) -> Vec<(BlockAddr, u64)> {
+        let mut v: Vec<(BlockAddr, u64)> = self
+            .writes
+            .iter()
+            .map(|(a, w)| (BlockAddr(*a), *w))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// The memory controller for one NVM channel.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    config: MemConfig,
+    store: SparseStore,
+    timing: PcmTiming,
+    /// Pending WPQ entries: `(drain completion, address)`.
+    wpq: Vec<(Time, BlockAddr)>,
+    stats: MemStats,
+    wear: WearTracker,
+    /// Optional device-side Start-Gap wear leveller. When enabled,
+    /// `read`/`write` take *logical* addresses and the raw image
+    /// (`store()`, `crash()`) is the *physical* layout — exactly like
+    /// a real DIMM's internal remapping. The secure engine never
+    /// enables this (its recovery walks the raw image); it exists as a
+    /// device substrate, exercised by the endurance tests.
+    leveler: Option<StartGap>,
+}
+
+impl MemoryController {
+    /// Creates a controller over an empty store.
+    pub fn new(config: MemConfig) -> Self {
+        MemoryController {
+            config,
+            store: SparseStore::new(),
+            timing: PcmTiming::new(config),
+            wpq: Vec::new(),
+            stats: MemStats::default(),
+            wear: WearTracker::default(),
+            leveler: None,
+        }
+    }
+
+    /// Enables Start-Gap wear levelling with a gap movement every
+    /// `interval` writes (ψ = 100 in Qureshi et al.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after traffic has already been served (the
+    /// mapping must start from the pristine image).
+    pub fn enable_wear_leveling(&mut self, interval: u64) {
+        assert!(
+            self.stats.reads == 0 && self.stats.writes == 0,
+            "enable wear levelling before any traffic"
+        );
+        self.leveler = Some(StartGap::new(self.config.capacity_bytes / 64, interval));
+    }
+
+    /// Translates a logical block to its current physical block
+    /// (identity when wear levelling is disabled).
+    pub fn resolve(&self, addr: BlockAddr) -> BlockAddr {
+        match &self.leveler {
+            Some(sg) => sg.map(addr),
+            None => addr,
+        }
+    }
+
+    /// The memory configuration in force.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Direct access to the functional NVM image (the attacker's and
+    /// the recovery procedure's view).
+    pub fn store(&self) -> &SparseStore {
+        &self.store
+    }
+
+    /// Mutable access to the NVM image, for tamper injection and for
+    /// recovery-time rebuilds.
+    pub fn store_mut(&mut self) -> &mut SparseStore {
+        &mut self.store
+    }
+
+    fn drain_completed(&mut self, now: Time) {
+        self.wpq.retain(|(done, _)| *done > now);
+    }
+
+    /// Services a read at `now`; returns the data and its completion
+    /// time. Reads matching a pending WPQ entry are forwarded at
+    /// controller latency without touching the banks.
+    pub fn read(&mut self, addr: BlockAddr, now: Time) -> (Block, Time) {
+        let addr = self.resolve(addr);
+        self.drain_completed(now);
+        self.stats.reads += 1;
+        let data = self.store.read(addr);
+        if self.wpq.iter().any(|(_, a)| *a == addr) {
+            self.stats.wpq_forwards += 1;
+            return (data, now + self.config.t_cl);
+        }
+        let (done, row) = self.timing.service(addr, false, now);
+        match row {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+        }
+        (data, done)
+    }
+
+    /// Accepts a write into the WPQ at (or after) `now`; returns the
+    /// time the write is *durable* (accepted into the persistence
+    /// domain). If the queue is full, acceptance stalls until an entry
+    /// drains.
+    pub fn write(&mut self, addr: BlockAddr, data: Block, now: Time) -> Time {
+        let addr = self.resolve(addr);
+        // Device-side gap movement: one extra copy every ψ writes.
+        if let Some(sg) = &mut self.leveler {
+            if let Some(mv) = sg.on_write() {
+                let bytes = self.store.read(mv.from);
+                self.store.write(mv.to, bytes);
+                self.store.write(mv.from, [0u8; 64]);
+                self.wear.record(mv.to);
+                self.timing.service(mv.to, true, now);
+            }
+        }
+        self.drain_completed(now);
+        // Coalesce into a pending entry: the queued drain will write
+        // the updated bytes, so the new write is durable immediately.
+        if self.wpq.iter().any(|(_, a)| *a == addr) {
+            self.stats.wpq_coalesced += 1;
+            self.store.write(addr, data);
+            return now;
+        }
+        let mut accept = now;
+        if self.wpq.len() >= self.config.wpq_entries {
+            self.stats.wpq_full_events += 1;
+            let earliest = self
+                .wpq
+                .iter()
+                .map(|(done, _)| *done)
+                .min()
+                .expect("full queue is non-empty");
+            accept = accept.max(earliest);
+            self.stats.wpq_stall += accept.since(now);
+            self.drain_completed(accept);
+        }
+        self.stats.writes += 1;
+        self.wear.record(addr);
+        // Durable on acceptance (ADR), drained to the array afterwards.
+        self.store.write(addr, data);
+        let (done, row) = self.timing.service(addr, true, accept);
+        match row {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+        }
+        self.wpq.push((done, addr));
+        accept
+    }
+
+    /// Per-block wear statistics (physical drains only; coalesced
+    /// writes wear nothing).
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Current WPQ occupancy at `now`.
+    pub fn wpq_occupancy(&mut self, now: Time) -> usize {
+        self.drain_completed(now);
+        self.wpq.len()
+    }
+
+    /// Simulates a power loss: the WPQ's contents are already durable
+    /// (written at acceptance), so only the queue bookkeeping clears.
+    /// Returns the NVM image as it would be found at reboot.
+    pub fn crash(&mut self) -> SparseStore {
+        self.wpq.clear();
+        self.store.clone()
+    }
+}
+
+impl StatSink for MemoryController {
+    fn report(&self, prefix: &str, out: &mut StatSet) {
+        let s = &self.stats;
+        out.set(format!("{prefix}reads"), s.reads);
+        out.set(format!("{prefix}writes"), s.writes);
+        out.set(format!("{prefix}row_hits"), s.row_hits);
+        out.set(format!("{prefix}row_misses"), s.row_misses);
+        out.set(format!("{prefix}wpq_full_events"), s.wpq_full_events);
+        out.set(format!("{prefix}wpq_coalesced"), s.wpq_coalesced);
+        out.set(format!("{prefix}wpq_stall_ns"), s.wpq_stall.as_ns());
+        out.set(format!("{prefix}wpq_forwards"), s.wpq_forwards);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_sim::config::SystemConfig;
+
+    fn mc() -> MemoryController {
+        MemoryController::new(SystemConfig::tiny().mem) // 16-entry WPQ
+    }
+
+    #[test]
+    fn write_then_read_returns_data() {
+        let mut m = mc();
+        let t = m.write(BlockAddr(1), [9; 64], Time::ZERO);
+        let (data, done) = m.read(BlockAddr(1), t);
+        assert_eq!(data, [9; 64]);
+        assert!(done > t);
+    }
+
+    #[test]
+    fn wpq_forwarding_is_fast() {
+        let mut m = mc();
+        m.write(BlockAddr(1), [9; 64], Time::ZERO);
+        // Read immediately: the write is still draining, so it forwards.
+        let (_, done) = m.read(BlockAddr(1), Time::ZERO);
+        assert_eq!(done, Time::ZERO + m.config().t_cl);
+        assert_eq!(m.stats().wpq_forwards, 1);
+    }
+
+    #[test]
+    fn wpq_fills_and_stalls() {
+        let mut m = mc();
+        let entries = m.config().wpq_entries;
+        let mut t = Time::ZERO;
+        // Hammer one bank so drains serialise; all writes at time zero.
+        for i in 0..(entries as u64 + 4) {
+            t = m.write(BlockAddr(i * 64), [1; 64], Time::ZERO);
+        }
+        assert!(m.stats().wpq_full_events >= 4);
+        assert!(m.stats().wpq_stall > Duration::ZERO);
+        assert!(t > Time::ZERO, "later writes accepted after stalls");
+    }
+
+    #[test]
+    fn wpq_drains_over_time() {
+        let mut m = mc();
+        m.write(BlockAddr(1), [1; 64], Time::ZERO);
+        assert_eq!(m.wpq_occupancy(Time::ZERO), 1);
+        assert_eq!(m.wpq_occupancy(Time::from_ns(10_000)), 0);
+    }
+
+    #[test]
+    fn accepted_write_survives_crash() {
+        let mut m = mc();
+        m.write(BlockAddr(7), [3; 64], Time::ZERO);
+        let image = m.crash();
+        assert_eq!(image.read(BlockAddr(7)), [3; 64]);
+        assert_eq!(m.wpq_occupancy(Time::ZERO), 0);
+    }
+
+    #[test]
+    fn reads_and_writes_counted() {
+        let mut m = mc();
+        m.write(BlockAddr(1), [1; 64], Time::ZERO);
+        m.read(BlockAddr(2), Time::from_ns(10_000));
+        let s = m.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.row_hits + s.row_misses, 2);
+    }
+
+    #[test]
+    fn wear_tracking_counts_physical_drains_only() {
+        let mut m = mc();
+        // Three back-to-back writes to one block: 1 physical + 2 coalesced.
+        for fill in 1..=3u8 {
+            m.write(BlockAddr(9), [fill; 64], Time::ZERO);
+        }
+        m.write(BlockAddr(10), [1; 64], Time::ZERO);
+        let w = m.wear();
+        assert_eq!(w.max_writes(), 1, "coalesced writes wear nothing");
+        assert_eq!(w.blocks_touched(), 2);
+        assert_eq!(w.hottest(1)[0].1, 1);
+        assert!((w.mean_writes() - 1.0).abs() < 1e-9);
+        assert!((w.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wear_hot_spot_identified() {
+        let mut m = mc();
+        let mut now = Time::ZERO;
+        for i in 0..40u64 {
+            // Block 5 written every round far apart in time (no
+            // coalescing); others once.
+            now += Duration::from_us(100);
+            m.write(BlockAddr(5), [i as u8 + 1; 64], now);
+            m.write(BlockAddr(100 + i), [1; 64], now);
+        }
+        let w = m.wear();
+        assert_eq!(w.hottest(1)[0].0, BlockAddr(5));
+        assert!(w.imbalance() > 10.0, "imbalance = {}", w.imbalance());
+    }
+
+    #[test]
+    fn stat_sink_report() {
+        let mut m = mc();
+        m.write(BlockAddr(1), [1; 64], Time::ZERO);
+        let mut out = StatSet::new();
+        m.report("mem.", &mut out);
+        assert_eq!(out.get("mem.writes"), 1);
+    }
+
+    #[test]
+    fn read_after_drain_touches_banks() {
+        let mut m = mc();
+        m.write(BlockAddr(1), [1; 64], Time::ZERO);
+        let late = Time::from_ns(100_000);
+        let (_, done) = m.read(BlockAddr(1), late);
+        // Row already open from the drain → hit latency, not forwarding.
+        assert_eq!(m.stats().wpq_forwards, 0);
+        assert!(done > late);
+    }
+}

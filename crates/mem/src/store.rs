@@ -1,0 +1,142 @@
+//! The functional contents of the NVM: a sparse map of 64-byte blocks.
+//!
+//! Unwritten blocks read as zero (real NVM ships zeroed; the simulator
+//! does not charge for the initial state). The store also provides the
+//! attacker's interface — [`SparseStore::tamper`] and
+//! [`SparseStore::rollback_to`] — used by integrity tests to model the
+//! threat model of §3.1 (an attacker who can read and modify NVM
+//! contents between and during boot episodes).
+
+use std::collections::HashMap;
+use triad_sim::{BlockAddr, BLOCK_BYTES};
+
+/// One 64-byte memory block.
+pub type Block = [u8; BLOCK_BYTES];
+
+/// A sparse, functional NVM image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseStore {
+    blocks: HashMap<u64, Block>,
+}
+
+impl SparseStore {
+    /// An empty (all-zero) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a block; unwritten blocks are zero.
+    pub fn read(&self, addr: BlockAddr) -> Block {
+        self.blocks
+            .get(&addr.0)
+            .copied()
+            .unwrap_or([0; BLOCK_BYTES])
+    }
+
+    /// Writes a block.
+    pub fn write(&mut self, addr: BlockAddr, data: Block) {
+        if data == [0; BLOCK_BYTES] {
+            // Keep the map sparse: zero blocks are the default.
+            self.blocks.remove(&addr.0);
+        } else {
+            self.blocks.insert(addr.0, data);
+        }
+    }
+
+    /// Number of non-zero blocks resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// XORs `mask` into the block at `addr` — the attacker's direct
+    /// tampering primitive.
+    pub fn tamper(&mut self, addr: BlockAddr, mask: Block) {
+        let mut b = self.read(addr);
+        for (x, m) in b.iter_mut().zip(mask.iter()) {
+            *x ^= m;
+        }
+        self.write(addr, b);
+    }
+
+    /// Replaces the block at `addr` with an arbitrary value (e.g. a
+    /// captured stale version — the replay attack of §2.2).
+    pub fn rollback_to(&mut self, addr: BlockAddr, old: Block) {
+        self.write(addr, old);
+    }
+
+    /// Iterates over resident (non-zero) blocks in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &Block)> {
+        self.blocks.iter().map(|(a, b)| (BlockAddr(*a), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let s = SparseStore::new();
+        assert_eq!(s.read(BlockAddr(99)), [0u8; 64]);
+        assert_eq!(s.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = SparseStore::new();
+        s.write(BlockAddr(5), [7; 64]);
+        assert_eq!(s.read(BlockAddr(5)), [7; 64]);
+        assert_eq!(s.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn zero_write_keeps_store_sparse() {
+        let mut s = SparseStore::new();
+        s.write(BlockAddr(5), [7; 64]);
+        s.write(BlockAddr(5), [0; 64]);
+        assert_eq!(s.resident_blocks(), 0);
+        assert_eq!(s.read(BlockAddr(5)), [0; 64]);
+    }
+
+    #[test]
+    fn tamper_flips_selected_bits() {
+        let mut s = SparseStore::new();
+        s.write(BlockAddr(1), [0xFF; 64]);
+        let mut mask = [0u8; 64];
+        mask[3] = 0x0F;
+        s.tamper(BlockAddr(1), mask);
+        let b = s.read(BlockAddr(1));
+        assert_eq!(b[3], 0xF0);
+        assert_eq!(b[4], 0xFF);
+    }
+
+    #[test]
+    fn rollback_restores_old_version() {
+        let mut s = SparseStore::new();
+        s.write(BlockAddr(1), [1; 64]);
+        let captured = s.read(BlockAddr(1));
+        s.write(BlockAddr(1), [2; 64]);
+        s.rollback_to(BlockAddr(1), captured);
+        assert_eq!(s.read(BlockAddr(1)), [1; 64]);
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        let mut s = SparseStore::new();
+        s.write(BlockAddr(1), [1; 64]);
+        let snap = s.clone();
+        s.write(BlockAddr(1), [2; 64]);
+        assert_eq!(snap.read(BlockAddr(1)), [1; 64]);
+        assert_eq!(s.read(BlockAddr(1)), [2; 64]);
+    }
+
+    #[test]
+    fn iter_visits_resident_blocks() {
+        let mut s = SparseStore::new();
+        s.write(BlockAddr(1), [1; 64]);
+        s.write(BlockAddr(2), [2; 64]);
+        let mut addrs: Vec<u64> = s.iter().map(|(a, _)| a.0).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, [1, 2]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Start-Gap wear levelling (Qureshi et al., MICRO'09).
+//!
+//! The paper motivates relaxed metadata persistence partly by PCM's
+//! limited write endurance; the complementary device-side defence is
+//! wear levelling, which real NVM DIMMs implement below everything
+//! else. Start-Gap is the canonical algorithm: one spare line and a
+//! *gap* that rotates through the array, moving one line every ψ
+//! writes, so hot blocks migrate across physical cells.
+//!
+//! The leveller lives at the memory-controller/device boundary
+//! ([`crate::controller::MemoryController::enable_wear_leveling`]):
+//! everything above — including the security engine — keeps using
+//! logical addresses; physical placement (and hence the wear
+//! distribution and the raw device image) changes underneath.
+
+use triad_sim::BlockAddr;
+
+/// The Start-Gap address remapper for a device of `lines` logical
+/// blocks over `lines + 1` physical blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartGap {
+    /// Logical lines (physical capacity is `lines + 1`).
+    lines: u64,
+    /// Physical index of the gap (the unmapped spare), `0..=lines`.
+    gap: u64,
+    /// Rotation offset, incremented each time the gap wraps.
+    start: u64,
+    /// Writes between gap movements (ψ; 100 in the original paper).
+    interval: u64,
+    writes_since_move: u64,
+    moves: u64,
+}
+
+/// A gap movement the device must perform: copy the block at `from`
+/// into `to` (the old gap position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapMove {
+    /// Physical source (the line adjacent to the gap).
+    pub from: BlockAddr,
+    /// Physical destination (the old gap).
+    pub to: BlockAddr,
+}
+
+impl StartGap {
+    /// Creates a leveller for `lines` logical blocks moving the gap
+    /// every `interval` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `interval` is zero.
+    pub fn new(lines: u64, interval: u64) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(interval > 0, "gap must move eventually");
+        StartGap {
+            lines,
+            gap: lines, // spare initially at the end
+            start: 0,
+            interval,
+            writes_since_move: 0,
+            moves: 0,
+        }
+    }
+
+    /// Maps a logical block to its current physical block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    pub fn map(&self, logical: BlockAddr) -> BlockAddr {
+        assert!(logical.0 < self.lines, "logical {logical} out of range");
+        let mut p = (logical.0 + self.start) % self.lines;
+        if p >= self.gap {
+            p += 1;
+        }
+        BlockAddr(p)
+    }
+
+    /// Notifies the leveller of one write; if the movement threshold
+    /// is reached, returns the [`GapMove`] the device must perform
+    /// *before* subsequent mappings are used.
+    pub fn on_write(&mut self) -> Option<GapMove> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.interval {
+            return None;
+        }
+        self.writes_since_move = 0;
+        self.moves += 1;
+        if self.gap == 0 {
+            // Wrap: the line at the top moves into the bottom gap, the
+            // spare returns to the top, and the rotation offset
+            // advances — after `lines + 1` movements every line has
+            // migrated by one physical slot.
+            let mv = GapMove {
+                from: BlockAddr(self.lines),
+                to: BlockAddr(0),
+            };
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+            Some(mv)
+        } else {
+            let mv = GapMove {
+                from: BlockAddr(self.gap - 1),
+                to: BlockAddr(self.gap),
+            };
+            self.gap -= 1;
+            Some(mv)
+        }
+    }
+
+    /// Total gap movements performed.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// The current gap's physical index.
+    pub fn gap(&self) -> u64 {
+        self.gap
+    }
+
+    /// The current rotation offset.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Logical capacity in blocks.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn initial_mapping_is_identity() {
+        let sg = StartGap::new(8, 4);
+        for l in 0..8 {
+            assert_eq!(sg.map(BlockAddr(l)), BlockAddr(l));
+        }
+    }
+
+    #[test]
+    fn mapping_is_always_a_bijection() {
+        let mut sg = StartGap::new(7, 1);
+        for _ in 0..200 {
+            let mut seen = HashSet::new();
+            for l in 0..7 {
+                let p = sg.map(BlockAddr(l));
+                assert!(p.0 <= 7, "physical within capacity+spare");
+                assert_ne!(p.0, sg.gap(), "nothing maps onto the gap");
+                assert!(seen.insert(p.0), "collision at rotation state {sg:?}");
+            }
+            sg.on_write();
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_interval_writes() {
+        let mut sg = StartGap::new(8, 3);
+        assert_eq!(sg.on_write(), None);
+        assert_eq!(sg.on_write(), None);
+        let mv = sg.on_write().expect("third write moves the gap");
+        assert_eq!(
+            mv,
+            GapMove {
+                from: BlockAddr(7),
+                to: BlockAddr(8)
+            }
+        );
+        assert_eq!(sg.gap(), 7);
+        assert_eq!(sg.moves(), 1);
+    }
+
+    #[test]
+    fn data_is_preserved_across_full_rotations() {
+        // Shadow device: apply the moves the leveller requests and
+        // check every logical block always reads its own value.
+        let lines = 5u64;
+        let mut sg = StartGap::new(lines, 1);
+        let mut device: HashMap<u64, u64> = HashMap::new();
+        // Initialise logical l = value 100 + l.
+        for l in 0..lines {
+            device.insert(sg.map(BlockAddr(l)).0, 100 + l);
+        }
+        for step in 0..200u64 {
+            if let Some(mv) = sg.on_write() {
+                if let Some(v) = device.remove(&mv.from.0) {
+                    device.insert(mv.to.0, v);
+                }
+            }
+            for l in 0..lines {
+                let p = sg.map(BlockAddr(l));
+                assert_eq!(
+                    device.get(&p.0),
+                    Some(&(100 + l)),
+                    "step {step}: logical {l} lost its data (gap {}, start {})",
+                    sg.gap(),
+                    sg.start()
+                );
+            }
+        }
+        assert!(sg.start() > 0, "rotation must have wrapped");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_rejected() {
+        StartGap::new(4, 1).map(BlockAddr(4));
+    }
+}

@@ -1,0 +1,496 @@
+//! Block-level placement of data and security metadata.
+//!
+//! Each region is laid out as:
+//!
+//! ```text
+//! | data pages | counter blocks | MAC blocks | BMT L1 | BMT L2 | … |
+//! ```
+//!
+//! * one 64 B **counter block** per 4 KiB data page (split counters),
+//! * one 64 B **MAC block** per 8 data blocks (8 × 8 B tags),
+//! * BMT levels 1‥top-1 in memory; the single top node (the **root
+//!   node**) lives on-chip in a persistent register and is not given a
+//!   memory address.
+//!
+//! The data area is sized by binary search so data + metadata exactly
+//! fit the region.
+
+use crate::bmt::BmtGeometry;
+use triad_sim::config::{CounterMode, SystemConfig};
+use triad_sim::{BlockAddr, PhysAddr};
+
+/// Which region an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Conventional memory: discarded at reboot, lazily recovered.
+    NonPersistent,
+    /// DAX/PMDK-style persistent memory: recoverable across crashes.
+    Persistent,
+}
+
+impl RegionKind {
+    /// Both kinds, non-persistent first (address order).
+    pub const ALL: [RegionKind; 2] = [RegionKind::NonPersistent, RegionKind::Persistent];
+}
+
+impl std::fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionKind::NonPersistent => write!(f, "non-persistent"),
+            RegionKind::Persistent => write!(f, "persistent"),
+        }
+    }
+}
+
+/// What role a block plays within its region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockRole {
+    /// Application data.
+    Data,
+    /// Split-counter block.
+    Counter,
+    /// MAC block (8 tags).
+    Mac,
+    /// BMT node at the given in-memory level (1-based).
+    BmtNode(u8),
+    /// Past the laid-out area (slack left by rounding).
+    Unused,
+}
+
+/// The complete layout of one region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionLayout {
+    /// Which region this is.
+    pub kind: RegionKind,
+    /// First block of the region.
+    pub region_start: BlockAddr,
+    /// Total blocks in the region (data + metadata + slack).
+    pub region_blocks: u64,
+    /// First data block.
+    pub data_start: BlockAddr,
+    /// Number of data blocks (a multiple of 64: whole pages).
+    pub data_blocks: u64,
+    /// First counter block.
+    pub counter_start: BlockAddr,
+    /// Number of counter blocks (= BMT leaves).
+    pub counter_blocks: u64,
+    /// Data blocks covered by one counter block (64 for split
+    /// counters, 8 for monolithic).
+    pub counter_coverage: u64,
+    /// First MAC block.
+    pub mac_start: BlockAddr,
+    /// Number of MAC blocks.
+    pub mac_blocks: u64,
+    /// First block of each in-memory BMT level (index 0 = level 1).
+    pub bmt_level_start: Vec<BlockAddr>,
+    /// Tree geometry over the counter blocks.
+    pub geometry: BmtGeometry,
+}
+
+impl RegionLayout {
+    /// Lays out a region of `region_blocks` blocks starting at
+    /// `region_start`, with the given BMT arity.
+    ///
+    /// Returns a degenerate empty layout when `region_blocks` is too
+    /// small for even one page plus its metadata.
+    pub fn new(kind: RegionKind, region_start: BlockAddr, region_blocks: u64, arity: u64) -> Self {
+        Self::with_counter_coverage(kind, region_start, region_blocks, arity, 64)
+    }
+
+    /// Like [`RegionLayout::new`] with an explicit counter coverage:
+    /// data blocks per counter block (64 = split, 8 = monolithic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is not 8 or 64.
+    pub fn with_counter_coverage(
+        kind: RegionKind,
+        region_start: BlockAddr,
+        region_blocks: u64,
+        arity: u64,
+        coverage: u64,
+    ) -> Self {
+        assert!(
+            coverage == 64 || coverage == 8,
+            "counter coverage must be 64 (split) or 8 (monolithic)"
+        );
+        // Find the largest number of whole data pages that fits.
+        let fits = |pages: u64| -> Option<u64> {
+            if pages == 0 {
+                return Some(0);
+            }
+            let data = pages * 64;
+            let counters = data.div_ceil(coverage);
+            let macs = data.div_ceil(8);
+            let geometry = BmtGeometry::new(counters, arity);
+            let bmt: u64 = geometry.in_memory_level_counts().iter().sum();
+            let total = data + counters + macs + bmt;
+            (total <= region_blocks).then_some(total)
+        };
+        let (mut lo, mut hi) = (0u64, region_blocks / 64);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if fits(mid).is_some() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let pages = lo;
+        let data_blocks = pages * 64;
+        let counter_blocks = data_blocks
+            .div_ceil(coverage)
+            .max(if pages > 0 { 1 } else { 0 });
+        let mac_blocks = data_blocks.div_ceil(8);
+        let geometry = BmtGeometry::new(counter_blocks, arity);
+        let data_start = region_start;
+        let counter_start = data_start + data_blocks;
+        let mac_start = counter_start + counter_blocks;
+        let mut bmt_level_start = Vec::new();
+        let mut cursor = mac_start + mac_blocks;
+        for count in geometry.in_memory_level_counts() {
+            bmt_level_start.push(cursor);
+            cursor = cursor + count;
+        }
+        RegionLayout {
+            kind,
+            region_start,
+            region_blocks,
+            data_start,
+            data_blocks,
+            counter_start,
+            counter_blocks,
+            counter_coverage: coverage,
+            mac_start,
+            mac_blocks,
+            bmt_level_start,
+            geometry,
+        }
+    }
+
+    /// Whether the region holds any data at all.
+    pub fn is_empty(&self) -> bool {
+        self.data_blocks == 0
+    }
+
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let b = addr.block();
+        b.0 >= self.region_start.0 && b.0 < self.region_start.0 + self.region_blocks
+    }
+
+    /// Whether `block` is one of this region's data blocks.
+    pub fn contains_data_block(&self, block: BlockAddr) -> bool {
+        block.0 >= self.data_start.0 && block.0 < self.data_start.0 + self.data_blocks
+    }
+
+    /// First byte address of the data area.
+    pub fn data_base(&self) -> PhysAddr {
+        self.data_start.base()
+    }
+
+    /// Size of the data area in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_blocks * 64
+    }
+
+    /// Zero-based index of a data block within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a data block of this region.
+    pub fn data_index(&self, block: BlockAddr) -> u64 {
+        assert!(
+            self.contains_data_block(block),
+            "{block} is not a data block of the {} region",
+            self.kind
+        );
+        block - self.data_start
+    }
+
+    /// The counter block covering `data`.
+    pub fn counter_block_of(&self, data: BlockAddr) -> BlockAddr {
+        self.counter_start + self.data_index(data) / self.counter_coverage
+    }
+
+    /// The counter slot of `data` within its counter block.
+    pub fn counter_slot_of(&self, data: BlockAddr) -> usize {
+        (self.data_index(data) % self.counter_coverage) as usize
+    }
+
+    /// The MAC block holding `data`'s tag (8 tags per block).
+    pub fn mac_block_of(&self, data: BlockAddr) -> BlockAddr {
+        self.mac_start + self.data_index(data) / 8
+    }
+
+    /// The tag slot of `data` within its MAC block.
+    pub fn mac_slot_of(&self, data: BlockAddr) -> usize {
+        (self.data_index(data) % 8) as usize
+    }
+
+    /// BMT leaf index of a counter block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter` is not a counter block of this region.
+    pub fn leaf_index(&self, counter: BlockAddr) -> u64 {
+        assert!(
+            counter.0 >= self.counter_start.0
+                && counter.0 < self.counter_start.0 + self.counter_blocks,
+            "{counter} is not a counter block of the {} region",
+            self.kind
+        );
+        counter - self.counter_start
+    }
+
+    /// Memory address of BMT node `(level, index)`; `None` when the
+    /// node is the on-chip root node (top level) or out of range.
+    pub fn bmt_node_addr(&self, level: u8, index: u64) -> Option<BlockAddr> {
+        if level == 0 || level as usize > self.bmt_level_start.len() {
+            return None;
+        }
+        if index >= self.geometry.nodes_at_level(level) {
+            return None;
+        }
+        Some(self.bmt_level_start[level as usize - 1] + index)
+    }
+
+    /// Classifies a block within the region.
+    pub fn role_of(&self, block: BlockAddr) -> BlockRole {
+        let b = block.0;
+        if self.contains_data_block(block) {
+            return BlockRole::Data;
+        }
+        if b >= self.counter_start.0 && b < self.counter_start.0 + self.counter_blocks {
+            return BlockRole::Counter;
+        }
+        if b >= self.mac_start.0 && b < self.mac_start.0 + self.mac_blocks {
+            return BlockRole::Mac;
+        }
+        for (i, start) in self.bmt_level_start.iter().enumerate() {
+            let level = i as u8 + 1;
+            let count = self.geometry.nodes_at_level(level);
+            if b >= start.0 && b < start.0 + count {
+                return BlockRole::BmtNode(level);
+            }
+        }
+        BlockRole::Unused
+    }
+}
+
+/// The full physical memory map: non-persistent region first (low
+/// addresses), persistent region last — mirroring `memmap=4G!12G`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryMap {
+    non_persistent: RegionLayout,
+    persistent: RegionLayout,
+}
+
+impl MemoryMap {
+    /// Builds the map from a system configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`].
+    pub fn new(config: &SystemConfig) -> Self {
+        config.validate().expect("invalid system configuration");
+        let total_blocks = config.mem.capacity_bytes / 64;
+        let np_blocks = total_blocks / 8 * (8 - config.persistent_eighths) as u64;
+        let arity = config.security.bmt_arity as u64;
+        let coverage = match config.security.counter_mode {
+            CounterMode::Split => 64,
+            CounterMode::Monolithic => 8,
+        };
+        MemoryMap {
+            non_persistent: RegionLayout::with_counter_coverage(
+                RegionKind::NonPersistent,
+                BlockAddr(0),
+                np_blocks,
+                arity,
+                coverage,
+            ),
+            persistent: RegionLayout::with_counter_coverage(
+                RegionKind::Persistent,
+                BlockAddr(np_blocks),
+                total_blocks - np_blocks,
+                arity,
+                coverage,
+            ),
+        }
+    }
+
+    /// The non-persistent region's layout.
+    pub fn non_persistent(&self) -> &RegionLayout {
+        &self.non_persistent
+    }
+
+    /// The persistent region's layout.
+    pub fn persistent(&self) -> &RegionLayout {
+        &self.persistent
+    }
+
+    /// The layout of `kind`.
+    pub fn region(&self, kind: RegionKind) -> &RegionLayout {
+        match kind {
+            RegionKind::NonPersistent => &self.non_persistent,
+            RegionKind::Persistent => &self.persistent,
+        }
+    }
+
+    /// Which region contains `addr`, if any.
+    pub fn region_of(&self, addr: PhysAddr) -> Option<RegionKind> {
+        if self.non_persistent.contains(addr) && !self.non_persistent.is_empty() {
+            Some(RegionKind::NonPersistent)
+        } else if self.persistent.contains(addr) {
+            Some(RegionKind::Persistent)
+        } else {
+            None
+        }
+    }
+
+    /// The region whose *data area* contains `block`, if any.
+    pub fn data_region_of(&self, block: BlockAddr) -> Option<RegionKind> {
+        if self.non_persistent.contains_data_block(block) {
+            Some(RegionKind::NonPersistent)
+        } else if self.persistent.contains_data_block(block) {
+            Some(RegionKind::Persistent)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_sim::config::SystemConfig;
+
+    fn map() -> MemoryMap {
+        MemoryMap::new(&SystemConfig::tiny())
+    }
+
+    #[test]
+    fn regions_partition_the_space() {
+        let m = map();
+        let np = m.non_persistent();
+        let p = m.persistent();
+        assert_eq!(np.region_start, BlockAddr(0));
+        assert_eq!(p.region_start.0, np.region_blocks);
+        // tiny(): 4 MiB → 65536 blocks, 2/8 persistent.
+        assert_eq!(np.region_blocks + p.region_blocks, 65536);
+        assert_eq!(p.region_blocks, 16384);
+    }
+
+    #[test]
+    fn layout_sections_are_disjoint_and_in_order() {
+        let m = map();
+        for r in [m.non_persistent(), m.persistent()] {
+            assert!(r.data_start.0 < r.counter_start.0);
+            assert_eq!(r.counter_start.0, r.data_start.0 + r.data_blocks);
+            assert_eq!(r.mac_start.0, r.counter_start.0 + r.counter_blocks);
+            let mut cursor = r.mac_start.0 + r.mac_blocks;
+            for (i, s) in r.bmt_level_start.iter().enumerate() {
+                assert_eq!(s.0, cursor, "level {} start", i + 1);
+                cursor += r.geometry.nodes_at_level(i as u8 + 1);
+            }
+            assert!(cursor <= r.region_start.0 + r.region_blocks);
+        }
+    }
+
+    #[test]
+    fn data_area_is_whole_pages_and_maximal() {
+        let m = map();
+        let r = m.persistent();
+        assert_eq!(r.data_blocks % 64, 0);
+        // One more page must not fit.
+        let pages = r.data_blocks / 64 + 1;
+        let data = pages * 64;
+        let macs = data.div_ceil(8);
+        let bmt: u64 = BmtGeometry::new(pages, 8)
+            .in_memory_level_counts()
+            .iter()
+            .sum();
+        assert!(data + pages + macs + bmt > r.region_blocks);
+    }
+
+    #[test]
+    fn counter_and_mac_mapping() {
+        let m = map();
+        let r = m.persistent();
+        let d0 = r.data_start;
+        let d65 = r.data_start + 65;
+        assert_eq!(r.counter_block_of(d0), r.counter_start);
+        assert_eq!(r.counter_slot_of(d0), 0);
+        assert_eq!(r.counter_block_of(d65), r.counter_start + 1);
+        assert_eq!(r.counter_slot_of(d65), 1);
+        assert_eq!(r.mac_block_of(d0), r.mac_start);
+        assert_eq!(r.mac_slot_of(d65), 1);
+        assert_eq!(r.mac_block_of(d65), r.mac_start + 8);
+    }
+
+    #[test]
+    fn role_classification_covers_all_sections() {
+        let m = map();
+        let r = m.persistent();
+        assert_eq!(r.role_of(r.data_start), BlockRole::Data);
+        assert_eq!(r.role_of(r.counter_start), BlockRole::Counter);
+        assert_eq!(r.role_of(r.mac_start), BlockRole::Mac);
+        assert_eq!(r.role_of(r.bmt_level_start[0]), BlockRole::BmtNode(1));
+        // A layout with one extra block has slack at the end.
+        let slack = RegionLayout::new(RegionKind::Persistent, BlockAddr(0), r.region_blocks + 1, 8);
+        let last = BlockAddr(slack.region_blocks - 1);
+        assert_eq!(slack.role_of(last), BlockRole::Unused);
+    }
+
+    #[test]
+    fn bmt_node_addresses() {
+        let m = map();
+        let r = m.persistent();
+        let l1 = r.bmt_node_addr(1, 0).unwrap();
+        assert_eq!(l1, r.bmt_level_start[0]);
+        assert_eq!(r.bmt_node_addr(0, 0), None, "leaves are counter blocks");
+        let top = r.geometry.root_level();
+        assert_eq!(r.bmt_node_addr(top, 0), None, "root node is on-chip");
+    }
+
+    #[test]
+    fn region_of_classifies_addresses() {
+        let m = map();
+        assert_eq!(m.region_of(PhysAddr(0)), Some(RegionKind::NonPersistent));
+        let p_base = m.persistent().region_start.base();
+        assert_eq!(m.region_of(p_base), Some(RegionKind::Persistent));
+        assert_eq!(m.region_of(PhysAddr(4 << 20)), None);
+    }
+
+    #[test]
+    fn zero_persistent_ratio_gives_empty_region() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.persistent_eighths = 0;
+        let m = MemoryMap::new(&cfg);
+        assert!(m.persistent().is_empty());
+        assert!(!m.non_persistent().is_empty());
+        assert_eq!(
+            m.data_region_of(m.non_persistent().data_start),
+            Some(RegionKind::NonPersistent)
+        );
+    }
+
+    #[test]
+    fn data_index_panics_outside_region() {
+        let m = map();
+        let r = m.persistent();
+        let c = r.counter_start;
+        assert!(std::panic::catch_unwind(|| r.data_index(c)).is_err());
+    }
+
+    #[test]
+    fn isca19_map_has_expected_scale() {
+        let m = MemoryMap::new(&SystemConfig::isca19());
+        let p = m.persistent();
+        // 4 GB persistent region → ~64 Mi data blocks, ~1 Mi counters.
+        assert!(p.data_bytes() > 3 << 30);
+        assert_eq!(p.counter_blocks, p.data_blocks / 64);
+        // Paper's Table 1: ~9-level 8-ary tree over the full memory.
+        assert!(p.geometry.root_level() >= 6);
+    }
+}

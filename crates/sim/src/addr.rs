@@ -1,0 +1,141 @@
+//! Physical-address vocabulary.
+//!
+//! The whole simulator operates on 64-byte blocks (cache lines), the
+//! granularity of every structure in the paper: data blocks, counter
+//! blocks, MAC blocks and Merkle-tree nodes are all 64 B.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Bytes per cache block / memory block (fixed at 64 in the paper).
+pub const BLOCK_BYTES: usize = 64;
+
+/// `log2(BLOCK_BYTES)`.
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A 64-byte-block-granularity physical address (`PhysAddr >> 6`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl PhysAddr {
+    /// The block containing this byte address.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// Offset of this byte within its 64-byte block.
+    pub const fn block_offset(self) -> usize {
+        (self.0 & (BLOCK_BYTES as u64 - 1)) as usize
+    }
+
+    /// Whether the address is 64-byte aligned.
+    pub const fn is_block_aligned(self) -> bool {
+        self.0 & (BLOCK_BYTES as u64 - 1) == 0
+    }
+}
+
+impl BlockAddr {
+    /// The first byte address of the block.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The 4 KiB page index of this block (64 blocks per page).
+    pub const fn page(self) -> u64 {
+        self.0 >> 6
+    }
+
+    /// Index of this block within its 4 KiB page, in `0..64`.
+    pub const fn page_offset(self) -> usize {
+        (self.0 & 63) as usize
+    }
+}
+
+impl Add<u64> for BlockAddr {
+    type Output = BlockAddr;
+    fn add(self, rhs: u64) -> BlockAddr {
+        BlockAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<BlockAddr> for BlockAddr {
+    type Output = u64;
+    fn sub(self, rhs: BlockAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let a = PhysAddr(0x1234);
+        assert_eq!(a.block(), BlockAddr(0x48));
+        assert_eq!(a.block_offset(), 0x34);
+        assert_eq!(a.block().base(), PhysAddr(0x1200));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(PhysAddr(0x40).is_block_aligned());
+        assert!(!PhysAddr(0x41).is_block_aligned());
+        assert!(PhysAddr(0).is_block_aligned());
+    }
+
+    #[test]
+    fn page_decomposition() {
+        // Block 65 is the second block of page 1.
+        let b = BlockAddr(65);
+        assert_eq!(b.page(), 1);
+        assert_eq!(b.page_offset(), 1);
+    }
+
+    #[test]
+    fn block_arithmetic() {
+        assert_eq!(BlockAddr(5) + 3, BlockAddr(8));
+        assert_eq!(BlockAddr(8) - BlockAddr(5), 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulation kernel for the Triad-NVM architectural simulator.
+//!
+//! This crate is the leaf of the workspace: every other crate builds on
+//! the vocabulary defined here.
+//!
+//! * [`time`] — picosecond-resolution simulated time ([`Time`], [`Duration`]).
+//! * [`addr`] — physical / 64-byte-block address newtypes.
+//! * [`trace`] — the memory-operation trace interface that workload
+//!   generators produce and the multi-core driver consumes.
+//! * [`config`] — the full simulated-system configuration, with defaults
+//!   reproducing Table 1 of the ISCA'19 paper.
+//! * [`stats`] — lightweight named-counter statistics.
+//! * [`rng`] — a tiny deterministic SplitMix64 generator for components
+//!   that need cheap randomness without pulling in `rand`.
+//!
+//! # Example
+//!
+//! ```rust
+//! use triad_sim::config::SystemConfig;
+//! use triad_sim::time::Duration;
+//!
+//! let cfg = SystemConfig::isca19();
+//! assert_eq!(cfg.cores, 8);
+//! assert_eq!(cfg.mem.read_latency, Duration::from_ns(60));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod trace_file;
+
+pub use addr::{BlockAddr, PhysAddr, BLOCK_BYTES, BLOCK_SHIFT};
+pub use config::SystemConfig;
+pub use time::{Duration, Time};
+pub use trace::{InterleavedTrace, MemOp, OpKind, TakeTrace, TraceSource};

@@ -1,0 +1,268 @@
+//! Lightweight statistics: named counters each component exposes via
+//! [`StatSink`], collected into ordered reports by the harness.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered set of named integer counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatSet {
+    values: BTreeMap<String, u64>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous value.
+    pub fn set(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Adds `delta` to `name` (creating it at zero first).
+    pub fn add(&mut self, name: impl Into<String>, delta: u64) {
+        *self.values.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter; zero if absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another set into this one, summing shared counters.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of counters present.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no counters are present.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return write!(f, "(no stats)");
+        }
+        for (k, v) in &self.values {
+            writeln!(f, "{k:<48} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, u64)> for StatSet {
+    fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> Self {
+        StatSet {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, u64)> for StatSet {
+    fn extend<I: IntoIterator<Item = (String, u64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram for latency-style samples.
+///
+/// Buckets hold values in `[2^i, 2^(i+1))`; percentile queries return
+/// the (upper-bound) bucket edge, which is exact enough for latency
+/// reporting across the simulator's nanosecond-to-millisecond range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros().min(63) as usize;
+        // value 0 → bucket 0 handled by min above? map explicitly:
+        let bucket = if value == 0 { 0 } else { bucket.min(63) };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bucket edge containing the `p`-th percentile
+    /// (`0.0 < p <= 100.0`); zero when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Implemented by every simulator component that exposes statistics.
+pub trait StatSink {
+    /// Writes this component's counters into `out`, prefixing each name
+    /// with `prefix` (e.g. `"l1."`).
+    fn report(&self, prefix: &str, out: &mut StatSet);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut s = StatSet::new();
+        assert_eq!(s.get("x"), 0);
+        s.add("x", 2);
+        s.add("x", 3);
+        assert_eq!(s.get("x"), 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_sums_shared_keys() {
+        let mut a = StatSet::new();
+        a.set("x", 1);
+        a.set("y", 2);
+        let mut b = StatSet::new();
+        b.set("y", 3);
+        b.set("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut s = StatSet::new();
+        s.set("b", 1);
+        s.set("a", 2);
+        let keys: Vec<_> = s.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let s = StatSet::new();
+        assert_eq!(s.to_string(), "(no stats)");
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        for v in [1u64, 2, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.4).abs() < 0.01);
+        // Median bucket upper edge covers the value 4.
+        let p50 = h.percentile(50.0);
+        assert!((4..=8).contains(&p50), "p50 = {p50}");
+        assert!(h.percentile(100.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(1.0) <= 1);
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+        assert!(a.percentile(100.0) >= 1000);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: StatSet = vec![("a".to_string(), 1)].into_iter().collect();
+        s.extend(vec![("a".to_string(), 2), ("b".to_string(), 7)]);
+        assert_eq!(s.get("a"), 3);
+        assert_eq!(s.get("b"), 7);
+    }
+}

@@ -1,0 +1,277 @@
+//! Simulated time.
+//!
+//! The simulator mixes a 1 GHz CPU clock with a 1200 MHz memory clock
+//! (Table 1), so time is kept in integer **picoseconds**: both clocks
+//! have an exact integer period (1000 ps and 833 ps would not — the
+//! memory clock is modelled as its bus-transfer time directly, so no
+//! fractional periods are ever needed).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of simulated time, in picoseconds since boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The beginning of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates an instant `ps` picoseconds after boot.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates an instant `ns` nanoseconds after boot.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Picoseconds since boot.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds since boot (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since boot as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span of `ps` picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a span of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000)
+    }
+
+    /// Creates a span of `us` microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000)
+    }
+
+    /// Creates a span of whole CPU cycles at 1 GHz (Table 1 core clock).
+    pub const fn from_cpu_cycles(cycles: u64) -> Self {
+        Duration(cycles * 1_000)
+    }
+
+    /// The span in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span in seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The longer of two spans.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Multiplies the span by an integer count, saturating on overflow.
+    pub fn saturating_mul(self, n: u64) -> Duration {
+        Duration(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Duration(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", ps as f64 / 1e12)
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", ps as f64 / 1e6)
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", ps as f64 / 1e3)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_ns(5) + Duration::from_ns(10);
+        assert_eq!(t.as_ns(), 15);
+        assert_eq!(t - Time::from_ns(5), Duration::from_ns(10));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Time::from_ns(1);
+        let late = Time::from_ns(9);
+        assert_eq!(late.since(early), Duration::from_ns(8));
+        assert_eq!(early.since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn cpu_cycles_are_one_ns() {
+        assert_eq!(Duration::from_cpu_cycles(7), Duration::from_ns(7));
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = Duration::from_ns(10) * 3;
+        assert_eq!(d.as_ns(), 30);
+        assert_eq!((d / 4).as_ps(), 7_500);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Duration::from_ps(12).to_string(), "12ps");
+        assert_eq!(Duration::from_ns(60).to_string(), "60.000ns");
+        assert_eq!(Duration::from_us(3).to_string(), "3.000us");
+        assert_eq!(Duration::from_ps(2_500_000_000_000).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn max_min_behave() {
+        let a = Time::from_ns(4);
+        let b = Time::from_ns(6);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            Duration::from_ns(1).max(Duration::from_ns(2)),
+            Duration::from_ns(2)
+        );
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = (1..=4).map(Duration::from_ns).sum();
+        assert_eq!(total, Duration::from_ns(10));
+    }
+
+    #[test]
+    fn saturating_mul_caps() {
+        assert_eq!(
+            Duration::from_ps(u64::MAX).saturating_mul(2),
+            Duration::from_ps(u64::MAX)
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! A plain-text trace interchange format, so workloads can be
+//! recorded once and replayed (or traces captured from other
+//! simulators can be fed in).
+//!
+//! Format — one operation per line, `#` comments, blank lines ignored:
+//!
+//! ```text
+//! # triad-trace v1
+//! L 0x1a40 12     # load,             gap = 12 instructions
+//! S 0x1a80 3      # store
+//! P 0x2000 0      # store + clwb + sfence (persistent store)
+//! F 0x2000 0      # clwb + sfence (flush)
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::addr::PhysAddr;
+use crate::trace::{MemOp, OpKind, TraceSource};
+
+/// Errors from parsing a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number and content).
+    Parse {
+        /// Line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceFileError::Parse { line, text } => {
+                write!(f, "malformed trace line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            TraceFileError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+fn kind_letter(kind: OpKind) -> char {
+    match kind {
+        OpKind::Load => 'L',
+        OpKind::Store => 'S',
+        OpKind::PersistentStore => 'P',
+        OpKind::Flush => 'F',
+    }
+}
+
+fn parse_kind(c: &str) -> Option<OpKind> {
+    match c {
+        "L" => Some(OpKind::Load),
+        "S" => Some(OpKind::Store),
+        "P" => Some(OpKind::PersistentStore),
+        "F" => Some(OpKind::Flush),
+        _ => None,
+    }
+}
+
+/// Writes `ops` to `w` in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(mut w: W, ops: &[MemOp]) -> io::Result<()> {
+    writeln!(w, "# triad-trace v1")?;
+    for op in ops {
+        writeln!(w, "{} {:#x} {}", kind_letter(op.kind), op.addr.0, op.gap)?;
+    }
+    Ok(())
+}
+
+/// Records up to `limit` operations from `source` into `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn record<W: Write>(source: &mut dyn TraceSource, limit: u64, w: W) -> io::Result<u64> {
+    let mut ops = Vec::new();
+    while (ops.len() as u64) < limit {
+        match source.next_op() {
+            Some(op) => ops.push(op),
+            None => break,
+        }
+    }
+    write_trace(w, &ops)?;
+    Ok(ops.len() as u64)
+}
+
+fn parse_line(line: &str, number: usize) -> Result<Option<MemOp>, TraceFileError> {
+    let text = line.trim();
+    if text.is_empty() || text.starts_with('#') {
+        return Ok(None);
+    }
+    let err = || TraceFileError::Parse {
+        line: number,
+        text: text.to_string(),
+    };
+    let mut parts = text.split_whitespace();
+    let kind = parts.next().and_then(parse_kind).ok_or_else(err)?;
+    let addr_txt = parts.next().ok_or_else(err)?;
+    let addr = if let Some(hex) = addr_txt.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| err())?
+    } else {
+        addr_txt.parse().map_err(|_| err())?
+    };
+    let gap = match parts.next() {
+        None => 0,
+        Some(g) => g.parse().map_err(|_| err())?,
+    };
+    if parts.next().is_some() {
+        return Err(err());
+    }
+    Ok(Some(MemOp {
+        addr: PhysAddr(addr),
+        kind,
+        gap,
+    }))
+}
+
+/// Parses a whole trace from a reader.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError`] on I/O failure or malformed lines.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MemOp>, TraceFileError> {
+    let mut ops = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        if let Some(op) = parse_line(&line?, i + 1)? {
+            ops.push(op);
+        }
+    }
+    Ok(ops)
+}
+
+/// A [`TraceSource`] replaying a parsed trace file.
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    name: String,
+    ops: Vec<MemOp>,
+    cursor: usize,
+    /// Loop back to the start when the trace ends.
+    repeat: bool,
+}
+
+impl ReplayTrace {
+    /// Creates a replayer over parsed operations.
+    pub fn new(name: impl Into<String>, ops: Vec<MemOp>, repeat: bool) -> Self {
+        ReplayTrace {
+            name: name.into(),
+            ops,
+            cursor: 0,
+            repeat,
+        }
+    }
+
+    /// Parses a trace from any reader and wraps it for replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceFileError`] on I/O failure or malformed lines.
+    pub fn from_reader<R: BufRead>(
+        name: impl Into<String>,
+        r: R,
+        repeat: bool,
+    ) -> Result<Self, TraceFileError> {
+        Ok(ReplayTrace::new(name, read_trace(r)?, repeat))
+    }
+
+    /// Number of operations in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl TraceSource for ReplayTrace {
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.cursor >= self.ops.len() {
+            if !self.repeat || self.ops.is_empty() {
+                return None;
+            }
+            self.cursor = 0;
+        }
+        let op = self.ops[self.cursor];
+        self.cursor += 1;
+        Some(op)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+
+    fn sample_ops() -> Vec<MemOp> {
+        vec![
+            MemOp::load(PhysAddr(0x1a40), 12),
+            MemOp::store(PhysAddr(0x1a80), 3),
+            MemOp::persist(PhysAddr(0x2000), 0),
+            MemOp {
+                addr: PhysAddr(0x2000),
+                kind: OpKind::Flush,
+                gap: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, ops);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_decimal_addresses_accepted() {
+        let text = "# header\n\nL 4096 2\n  # indented comment\nS 0x40\n";
+        let ops = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].addr, PhysAddr(4096));
+        assert_eq!(ops[1].gap, 0, "missing gap defaults to zero");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        for bad in ["X 0x40 1", "L", "L zzz 1", "L 0x40 1 extra"] {
+            let text = format!("L 0x0 0\n{bad}\n");
+            match read_trace(text.as_bytes()) {
+                Err(TraceFileError::Parse { line, .. }) => assert_eq!(line, 2, "{bad}"),
+                other => panic!("{bad}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn record_caps_at_limit() {
+        let mut src = VecTrace::new("src", sample_ops());
+        let mut buf = Vec::new();
+        let n = record(&mut src, 2, &mut buf).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(read_trace(buf.as_slice()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn replay_once_and_repeat() {
+        let ops = sample_ops();
+        let mut once = ReplayTrace::new("t", ops.clone(), false);
+        for expected in &ops {
+            assert_eq!(once.next_op().as_ref(), Some(expected));
+        }
+        assert_eq!(once.next_op(), None);
+
+        let mut looped = ReplayTrace::new("t", ops.clone(), true);
+        for _ in 0..3 * ops.len() {
+            assert!(looped.next_op().is_some());
+        }
+        assert_eq!(looped.len(), ops.len());
+        assert!(!looped.is_empty());
+    }
+
+    #[test]
+    fn from_reader_builds_a_source() {
+        let text = "L 0x40 1\nP 0x80 2\n";
+        let mut t = ReplayTrace::from_reader("file", text.as_bytes(), false).unwrap();
+        assert_eq!(t.name(), "file");
+        assert_eq!(t.next_op().unwrap().kind, OpKind::Load);
+        assert_eq!(t.next_op().unwrap().kind, OpKind::PersistentStore);
+    }
+
+    #[test]
+    fn io_error_display() {
+        let e = TraceFileError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        let p = TraceFileError::Parse {
+            line: 3,
+            text: "junk".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+}

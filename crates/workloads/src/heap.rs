@@ -1,0 +1,404 @@
+//! A miniature PMDK (`libpmemobj`) substitute.
+//!
+//! The paper builds its microbenchmarks on Intel PMDK; this module
+//! provides the equivalent substrate over the simulated secure memory:
+//! a block-granular persistent heap in the persistent region with
+//!
+//! * a **header** (magic, allocation cursor, root pointer),
+//! * a fixed **redo-log** area giving crash-atomic multi-block
+//!   transactions (log → commit flag → apply → clear), and
+//! * a bump-allocated **data area**.
+//!
+//! Every mutation follows the PMDK discipline: store, `clwb`, `sfence`
+//! — which the simulator models as [`SecureMemory::persist`] — so the
+//! full Triad-NVM metadata machinery is exercised on every step.
+
+use std::error::Error;
+use std::fmt;
+
+use triad_core::{SecureMemory, SecureMemoryError};
+use triad_sim::{PhysAddr, BLOCK_BYTES};
+
+/// Errors of the persistent heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The underlying secure memory failed (tampering, crash, …).
+    Memory(SecureMemoryError),
+    /// `open` found no formatted heap.
+    NotFormatted,
+    /// The data area is exhausted.
+    OutOfSpace,
+    /// A transaction exceeded the redo-log capacity.
+    LogFull,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::Memory(e) => write!(f, "secure memory error: {e}"),
+            HeapError::NotFormatted => write!(f, "no formatted heap in the persistent region"),
+            HeapError::OutOfSpace => write!(f, "persistent heap is out of space"),
+            HeapError::LogFull => write!(f, "transaction exceeds redo-log capacity"),
+        }
+    }
+}
+
+impl Error for HeapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeapError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SecureMemoryError> for HeapError {
+    fn from(e: SecureMemoryError) -> Self {
+        HeapError::Memory(e)
+    }
+}
+
+/// Shorthand for heap results.
+pub type Result<T> = std::result::Result<T, HeapError>;
+
+/// Log capacity in entries (each entry = 2 blocks: target + payload).
+pub const LOG_ENTRIES: usize = 16;
+
+/// A persistent heap living in the secure memory's persistent region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistentHeap {
+    base: PhysAddr,
+    len_bytes: u64,
+}
+
+const HDR_MAGIC: usize = 0;
+const HDR_CURSOR: usize = 8;
+const HDR_ROOT: usize = 16;
+const HDR_COMMIT: usize = 24;
+const HDR_LOG_LEN: usize = 32;
+
+impl PersistentHeap {
+    fn header_addr(&self) -> PhysAddr {
+        self.base
+    }
+
+    fn log_addr(&self, entry: usize, part: usize) -> PhysAddr {
+        PhysAddr(self.base.0 + 64 + (entry * 2 + part) as u64 * 64)
+    }
+
+    fn data_base(&self) -> PhysAddr {
+        PhysAddr(self.base.0 + 64 + (LOG_ENTRIES as u64 * 2) * 64)
+    }
+
+    /// Total allocatable data bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.len_bytes - (self.data_base().0 - self.base.0)
+    }
+
+    fn read_header(&self, mem: &mut SecureMemory) -> Result<[u8; BLOCK_BYTES]> {
+        Ok(mem.read(self.header_addr())?)
+    }
+
+    fn header_u64(hdr: &[u8; BLOCK_BYTES], off: usize) -> u64 {
+        u64::from_le_bytes(hdr[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    fn write_header_u64(&self, mem: &mut SecureMemory, off: usize, value: u64) -> Result<()> {
+        mem.write(
+            PhysAddr(self.header_addr().0 + off as u64),
+            &value.to_le_bytes(),
+        )?;
+        mem.persist(self.header_addr())?;
+        Ok(())
+    }
+
+    /// Formats a fresh heap over the whole persistent region of `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn format(mem: &mut SecureMemory) -> Result<Self> {
+        let region = mem.persistent_region();
+        let heap = PersistentHeap {
+            base: region.start(),
+            len_bytes: region.len_bytes(),
+        };
+        let mut hdr = [0u8; BLOCK_BYTES];
+        hdr[HDR_MAGIC..HDR_MAGIC + 8].copy_from_slice(&heap_magic().to_le_bytes());
+        mem.write(heap.header_addr(), &hdr)?;
+        mem.persist(heap.header_addr())?;
+        Ok(heap)
+    }
+
+    /// Opens an existing heap, replaying a committed-but-unapplied
+    /// transaction if the crash hit between commit and apply.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NotFormatted`] when the magic is absent.
+    pub fn open(mem: &mut SecureMemory) -> Result<Self> {
+        let region = mem.persistent_region();
+        let heap = PersistentHeap {
+            base: region.start(),
+            len_bytes: region.len_bytes(),
+        };
+        let hdr = heap.read_header(mem)?;
+        if Self::header_u64(&hdr, HDR_MAGIC) != heap_magic() {
+            return Err(HeapError::NotFormatted);
+        }
+        if Self::header_u64(&hdr, HDR_COMMIT) == 1 {
+            // Redo: the log is complete; apply it (idempotent).
+            let len = Self::header_u64(&hdr, HDR_LOG_LEN) as usize;
+            for i in 0..len.min(LOG_ENTRIES) {
+                let meta = mem.read(heap.log_addr(i, 0))?;
+                let target = PhysAddr(u64::from_le_bytes(meta[..8].try_into().expect("8 bytes")));
+                let payload = mem.read(heap.log_addr(i, 1))?;
+                mem.write(target, &payload)?;
+                mem.persist(target)?;
+            }
+            heap.write_header_u64(mem, HDR_COMMIT, 0)?;
+        }
+        Ok(heap)
+    }
+
+    /// Allocates `blocks` consecutive 64 B blocks, returning their base
+    /// address. Allocation is durable before the call returns.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfSpace`] when the data area is exhausted.
+    pub fn alloc_blocks(&self, mem: &mut SecureMemory, blocks: u64) -> Result<PhysAddr> {
+        let hdr = self.read_header(mem)?;
+        let cursor = Self::header_u64(&hdr, HDR_CURSOR);
+        if (cursor + blocks) * 64 > self.capacity_bytes() {
+            return Err(HeapError::OutOfSpace);
+        }
+        self.write_header_u64(mem, HDR_CURSOR, cursor + blocks)?;
+        Ok(PhysAddr(self.data_base().0 + cursor * 64))
+    }
+
+    /// Reads the root-object pointer (0 = unset).
+    pub fn root(&self, mem: &mut SecureMemory) -> Result<u64> {
+        Ok(Self::header_u64(&self.read_header(mem)?, HDR_ROOT))
+    }
+
+    /// Durably sets the root-object pointer.
+    pub fn set_root(&self, mem: &mut SecureMemory, root: u64) -> Result<()> {
+        self.write_header_u64(mem, HDR_ROOT, root)
+    }
+
+    /// Runs a crash-atomic transaction: all `writes` (full 64 B blocks)
+    /// become durable together or not at all.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::LogFull`] when more than [`LOG_ENTRIES`] blocks are
+    /// written.
+    pub fn commit(
+        &self,
+        mem: &mut SecureMemory,
+        writes: &[(PhysAddr, [u8; BLOCK_BYTES])],
+    ) -> Result<()> {
+        if writes.len() > LOG_ENTRIES {
+            return Err(HeapError::LogFull);
+        }
+        // 1. Write the redo log.
+        for (i, (target, payload)) in writes.iter().enumerate() {
+            let mut meta = [0u8; BLOCK_BYTES];
+            meta[..8].copy_from_slice(&target.0.to_le_bytes());
+            mem.write(self.log_addr(i, 0), &meta)?;
+            mem.persist(self.log_addr(i, 0))?;
+            mem.write(self.log_addr(i, 1), payload)?;
+            mem.persist(self.log_addr(i, 1))?;
+        }
+        self.write_header_u64(mem, HDR_LOG_LEN, writes.len() as u64)?;
+        // 2. Commit point.
+        self.write_header_u64(mem, HDR_COMMIT, 1)?;
+        // 3. Apply in place.
+        for (target, payload) in writes {
+            mem.write(*target, payload)?;
+            mem.persist(*target)?;
+        }
+        // 4. Clear.
+        self.write_header_u64(mem, HDR_COMMIT, 0)?;
+        Ok(())
+    }
+}
+
+fn heap_magic() -> u64 {
+    u64::from_le_bytes(*b"TRIADPMN")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_core::{PersistScheme, SecureMemoryBuilder};
+
+    fn mem() -> SecureMemory {
+        SecureMemoryBuilder::new()
+            .scheme(PersistScheme::triad_nvm(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn format_then_open() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let h2 = PersistentHeap::open(&mut m).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn open_unformatted_fails() {
+        let mut m = mem();
+        assert_eq!(
+            PersistentHeap::open(&mut m).unwrap_err(),
+            HeapError::NotFormatted
+        );
+    }
+
+    #[test]
+    fn alloc_advances_and_is_durable() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, 2).unwrap();
+        let b = h.alloc_blocks(&mut m, 1).unwrap();
+        assert_eq!(b.0, a.0 + 128);
+        m.crash();
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let c = h.alloc_blocks(&mut m, 1).unwrap();
+        assert_eq!(c.0, b.0 + 64, "cursor must survive the crash");
+    }
+
+    #[test]
+    fn out_of_space_detected() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let too_many = h.capacity_bytes() / 64 + 1;
+        assert_eq!(
+            h.alloc_blocks(&mut m, too_many).unwrap_err(),
+            HeapError::OutOfSpace
+        );
+    }
+
+    #[test]
+    fn transaction_applies_all_writes() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, 2).unwrap();
+        let b = PhysAddr(a.0 + 64);
+        h.commit(&mut m, &[(a, [1; 64]), (b, [2; 64])]).unwrap();
+        assert_eq!(m.read(a).unwrap(), [1; 64]);
+        assert_eq!(m.read(b).unwrap(), [2; 64]);
+    }
+
+    #[test]
+    fn log_overflow_rejected() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, LOG_ENTRIES as u64 + 1).unwrap();
+        let writes: Vec<_> = (0..LOG_ENTRIES as u64 + 1)
+            .map(|i| (PhysAddr(a.0 + i * 64), [3u8; 64]))
+            .collect();
+        assert_eq!(h.commit(&mut m, &writes).unwrap_err(), HeapError::LogFull);
+    }
+
+    #[test]
+    fn committed_transaction_survives_crash_between_commit_and_apply() {
+        // Crash-atomicity at the heap level composes with the engine's
+        // metadata persistence: after the commit flag is durable, a
+        // crash anywhere must still produce the new state at reopen.
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, 2).unwrap();
+        let b = PhysAddr(a.0 + 64);
+        h.commit(&mut m, &[(a, [1; 64]), (b, [1; 64])]).unwrap();
+        // Second tx: stop right after the commit flag persists by
+        // simulating the crash through a full commit followed by
+        // rewinding the applied blocks is not possible from outside —
+        // instead drive the log manually.
+        let writes = [(a, [9u8; 64]), (b, [9u8; 64])];
+        for (i, (target, payload)) in writes.iter().enumerate() {
+            let mut meta = [0u8; 64];
+            meta[..8].copy_from_slice(&target.0.to_le_bytes());
+            m.write(h.log_addr(i, 0), &meta).unwrap();
+            m.persist(h.log_addr(i, 0)).unwrap();
+            m.write(h.log_addr(i, 1), payload).unwrap();
+            m.persist(h.log_addr(i, 1)).unwrap();
+        }
+        h.write_header_u64(&mut m, HDR_LOG_LEN, 2).unwrap();
+        h.write_header_u64(&mut m, HDR_COMMIT, 1).unwrap();
+        // CRASH before applying.
+        m.crash();
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let _ = h;
+        assert_eq!(m.read(a).unwrap(), [9; 64], "redo log must be replayed");
+        assert_eq!(m.read(b).unwrap(), [9; 64]);
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_discarded() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, 1).unwrap();
+        h.commit(&mut m, &[(a, [1; 64])]).unwrap();
+        // Write log entries but never set the commit flag.
+        let mut meta = [0u8; 64];
+        meta[..8].copy_from_slice(&a.0.to_le_bytes());
+        m.write(h.log_addr(0, 0), &meta).unwrap();
+        m.persist(h.log_addr(0, 0)).unwrap();
+        m.write(h.log_addr(0, 1), &[7u8; 64]).unwrap();
+        m.persist(h.log_addr(0, 1)).unwrap();
+        m.crash();
+        m.recover().unwrap();
+        PersistentHeap::open(&mut m).unwrap();
+        assert_eq!(m.read(a).unwrap(), [1; 64], "old value must remain");
+    }
+
+    #[test]
+    fn root_pointer_round_trip() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        assert_eq!(h.root(&mut m).unwrap(), 0);
+        h.set_root(&mut m, 0xFEED).unwrap();
+        m.crash();
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        assert_eq!(h.root(&mut m).unwrap(), 0xFEED);
+    }
+}
+
+#[cfg(test)]
+mod error_surface {
+    use super::*;
+
+    #[test]
+    fn heap_errors_display_and_chain() {
+        use std::error::Error as _;
+        let e = HeapError::OutOfSpace;
+        assert!(e.to_string().contains("out of space"));
+        assert!(e.source().is_none());
+        let inner = triad_core::SecureMemoryError::NeedsRecovery;
+        let wrapped = HeapError::from(inner.clone());
+        assert!(wrapped.to_string().contains("secure memory error"));
+        assert!(wrapped.source().is_some());
+        assert_eq!(
+            HeapError::LogFull.to_string(),
+            "transaction exceeds redo-log capacity"
+        );
+        assert!(HeapError::NotFormatted.to_string().contains("formatted"));
+        let _ = inner;
+    }
+
+    #[test]
+    fn heap_capacity_accounts_for_header_and_log() {
+        let mut m = triad_core::SecureMemoryBuilder::new().build().unwrap();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let region = m.persistent_region().len_bytes();
+        let overhead = 64 * (1 + 2 * LOG_ENTRIES as u64);
+        assert_eq!(h.capacity_bytes(), region - overhead);
+    }
+}

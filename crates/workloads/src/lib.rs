@@ -1,0 +1,35 @@
+//! Workloads for the Triad-NVM evaluation (§4 of the paper).
+//!
+//! The paper runs SPEC CPU2006 binaries, PMDK microbenchmarks and
+//! DAX-mmap synthetic workloads under gem5. This crate provides the
+//! closest equivalents the simulator can drive:
+//!
+//! * [`spec`] — synthetic trace generators parameterised to match each
+//!   SPEC benchmark's first-order memory behaviour (footprint,
+//!   write intensity, spatial locality, pointer-chasing) — the
+//!   properties Figures 4/8/9 actually depend on.
+//! * [`heap`] — a miniature PMDK (`libpmemobj`) substitute: a
+//!   persistent heap with a redo-log transaction mechanism over
+//!   [`triad_core::SecureMemory`].
+//! * [`structures`] — the paper's three PMDK microbenchmarks as real
+//!   data structures on that heap: [`structures::PersistentHashtable`],
+//!   [`structures::PersistentQueue`], [`structures::ArraySwap`].
+//! * [`traces`] — trace-generator forms of the PMDK benchmarks and
+//!   the `DAXBENCH-S-RW` strided workload, for the timing simulator.
+//! * [`mixes`] — the Table 2 workload registry (DAXBENCH1–4, MIX1–4)
+//!   plus every single-program workload the figures sweep.
+
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod mixes;
+pub mod spec;
+pub mod structures;
+pub mod traces;
+pub mod zipf;
+
+pub use heap::{HeapError, PersistentHeap};
+pub use mixes::{all_figure_workloads, build_workload, WorkloadEnv};
+pub use spec::SpecWorkload;
+pub use traces::{DaxBench, PmdkKind, PmdkTrace};
+pub use zipf::Zipf;

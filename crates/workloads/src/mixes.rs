@@ -1,0 +1,215 @@
+//! The workload registry: every single-program workload of Figures
+//! 4/8/9 plus the Table 2 multi-programmed mixes.
+//!
+//! | name | composition |
+//! |---|---|
+//! | 12 SPEC names | one synthetic SPEC-like core (non-persistent) |
+//! | `hashtable` / `queue` / `arrayswap` | one PMDK-like core (persistent) |
+//! | `daxbench1..4` | `DAXBENCH-128-2`, `-1024-2`, `-256-2`, `-512-3` |
+//! | `mix1` | arrayswap, queue, hashtable, daxbench-64-2 |
+//! | `mix2` | mcf, queue, hashtable, daxbench-64-2 |
+//! | `mix3` | mcf, lbm, hashtable, daxbench-512-2 |
+//! | `mix4` | arrayswap, hashtable, hashtable, daxbench-1024-2 |
+
+use triad_core::SecureMemory;
+use triad_sim::trace::TraceSource;
+use triad_sim::PhysAddr;
+
+use crate::spec::{SpecWorkload, SPEC_NAMES};
+use crate::traces::{DaxBench, PmdkKind, PmdkTrace};
+
+/// Address-space bounds the generators may use, derived from a built
+/// [`SecureMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadEnv {
+    /// Base of the persistent region's data area.
+    pub persistent_base: PhysAddr,
+    /// Usable bytes of the persistent data area.
+    pub persistent_bytes: u64,
+    /// Base of the non-persistent region's data area.
+    pub non_persistent_base: PhysAddr,
+    /// Usable bytes of the non-persistent data area.
+    pub non_persistent_bytes: u64,
+}
+
+impl WorkloadEnv {
+    /// Reads the bounds from an engine.
+    pub fn of(mem: &SecureMemory) -> Self {
+        let p = mem.persistent_region();
+        let np = mem.non_persistent_region();
+        WorkloadEnv {
+            persistent_base: p.start(),
+            persistent_bytes: p.len_bytes(),
+            non_persistent_base: np.start(),
+            non_persistent_bytes: np.len_bytes(),
+        }
+    }
+
+    /// Splits the persistent data area into `n` equal lanes and
+    /// returns lane `i` as `(base, bytes)`.
+    fn p_lane(&self, i: u64, n: u64) -> (PhysAddr, u64) {
+        let lane = self.persistent_bytes / n / 64 * 64;
+        (PhysAddr(self.persistent_base.0 + i * lane), lane)
+    }
+
+    /// Same for the non-persistent area.
+    fn np_lane(&self, i: u64, n: u64) -> (PhysAddr, u64) {
+        let lane = self.non_persistent_bytes / n / 64 * 64;
+        (PhysAddr(self.non_persistent_base.0 + i * lane), lane)
+    }
+}
+
+fn spec_lane(
+    env: &WorkloadEnv,
+    name: &str,
+    lane: u64,
+    lanes: u64,
+    seed: u64,
+) -> Box<dyn TraceSource> {
+    let (base, bytes) = env.np_lane(lane, lanes);
+    Box::new(SpecWorkload::new(name, base, bytes / 64, seed))
+}
+
+fn pmdk_lane(
+    env: &WorkloadEnv,
+    kind: PmdkKind,
+    lane: u64,
+    lanes: u64,
+    seed: u64,
+) -> Box<dyn TraceSource> {
+    let (base, bytes) = env.p_lane(lane, lanes);
+    Box::new(PmdkTrace::new(kind, base, bytes / 64, seed))
+}
+
+fn dax_lane(
+    env: &WorkloadEnv,
+    stride: u64,
+    rw: u32,
+    lane: u64,
+    lanes: u64,
+) -> Box<dyn TraceSource> {
+    let (base, bytes) = env.p_lane(lane, lanes);
+    Box::new(DaxBench::new(base, bytes, stride, rw))
+}
+
+/// Builds the named workload's per-core traces.
+///
+/// # Panics
+///
+/// Panics on an unknown workload name (see [`all_figure_workloads`]).
+pub fn build_workload(name: &str, env: &WorkloadEnv, seed: u64) -> Vec<Box<dyn TraceSource>> {
+    if SPEC_NAMES.contains(&name) {
+        return vec![spec_lane(env, name, 0, 1, seed)];
+    }
+    match name {
+        "hashtable" => vec![pmdk_lane(env, PmdkKind::Hashtable, 0, 1, seed)],
+        "queue" => vec![pmdk_lane(env, PmdkKind::Queue, 0, 1, seed)],
+        "arrayswap" => vec![pmdk_lane(env, PmdkKind::ArraySwap, 0, 1, seed)],
+        "daxbench1" => vec![dax_lane(env, 128, 2, 0, 1)],
+        "daxbench2" => vec![dax_lane(env, 1024, 2, 0, 1)],
+        "daxbench3" => vec![dax_lane(env, 256, 2, 0, 1)],
+        "daxbench4" => vec![dax_lane(env, 512, 3, 0, 1)],
+        "mix1" => vec![
+            pmdk_lane(env, PmdkKind::ArraySwap, 0, 4, seed),
+            pmdk_lane(env, PmdkKind::Queue, 1, 4, seed + 1),
+            pmdk_lane(env, PmdkKind::Hashtable, 2, 4, seed + 2),
+            dax_lane(env, 64, 2, 3, 4),
+        ],
+        "mix2" => vec![
+            spec_lane(env, "mcf", 0, 1, seed),
+            pmdk_lane(env, PmdkKind::Queue, 0, 4, seed + 1),
+            pmdk_lane(env, PmdkKind::Hashtable, 1, 4, seed + 2),
+            dax_lane(env, 64, 2, 2, 4),
+        ],
+        "mix3" => vec![
+            spec_lane(env, "mcf", 0, 2, seed),
+            spec_lane(env, "lbm", 1, 2, seed + 1),
+            pmdk_lane(env, PmdkKind::Hashtable, 0, 2, seed + 2),
+            dax_lane(env, 512, 2, 1, 2),
+        ],
+        "mix4" => vec![
+            pmdk_lane(env, PmdkKind::ArraySwap, 0, 4, seed),
+            pmdk_lane(env, PmdkKind::Hashtable, 1, 4, seed + 1),
+            pmdk_lane(env, PmdkKind::Hashtable, 2, 4, seed + 2),
+            dax_lane(env, 1024, 2, 3, 4),
+        ],
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+/// Every workload plotted in Figures 4, 8 and 9, in plotting order.
+pub fn all_figure_workloads() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = SPEC_NAMES.to_vec();
+    v.extend([
+        "hashtable",
+        "queue",
+        "arrayswap",
+        "daxbench1",
+        "daxbench2",
+        "daxbench3",
+        "daxbench4",
+        "mix1",
+        "mix2",
+        "mix3",
+        "mix4",
+    ]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_core::{PersistScheme, SecureMemoryBuilder};
+
+    fn env() -> WorkloadEnv {
+        let m = SecureMemoryBuilder::new()
+            .scheme(PersistScheme::triad_nvm(1))
+            .build()
+            .unwrap();
+        WorkloadEnv::of(&m)
+    }
+
+    #[test]
+    fn all_workloads_build_and_generate() {
+        let env = env();
+        for name in all_figure_workloads() {
+            let mut traces = build_workload(name, &env, 42);
+            assert!(!traces.is_empty(), "{name}");
+            for t in &mut traces {
+                for _ in 0..50 {
+                    assert!(t.next_op().is_some(), "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_have_four_cores() {
+        let env = env();
+        for name in ["mix1", "mix2", "mix3", "mix4"] {
+            assert_eq!(build_workload(name, &env, 1).len(), 4, "{name}");
+        }
+    }
+
+    #[test]
+    fn figure_workload_count_matches_paper() {
+        // 12 SPEC + 3 PMDK + 4 DAXBENCH + 4 MIX = 23 bars.
+        assert_eq!(all_figure_workloads().len(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        build_workload("nosuch", &env(), 0);
+    }
+
+    #[test]
+    fn lanes_do_not_overlap() {
+        let env = env();
+        let (a, la) = env.p_lane(0, 4);
+        let (b, _) = env.p_lane(1, 4);
+        assert!(a.0 + la <= b.0);
+        let (c, lc) = env.np_lane(3, 4);
+        assert!(c.0 + lc <= env.non_persistent_base.0 + env.non_persistent_bytes);
+    }
+}

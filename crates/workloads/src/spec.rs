@@ -1,0 +1,286 @@
+//! Synthetic SPEC CPU2006-like workload generators.
+//!
+//! We cannot run SPEC binaries inside a Rust trace simulator, so each
+//! benchmark is modelled by the memory-behaviour parameters that the
+//! paper's figures are sensitive to: footprint, read/write mix, spatial
+//! locality, hot-set skew and memory-operation density. Parameter
+//! values are chosen from the well-known characterisation literature
+//! (e.g. `mcf` = huge pointer-chasing footprint, `lbm` = write-heavy
+//! streaming, `libquantum` = sequential streaming over a large vector).
+//! All SPEC workloads allocate in the **non-persistent** region and
+//! never issue persists.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use triad_sim::trace::{MemOp, OpKind, TraceSource};
+use triad_sim::PhysAddr;
+
+/// Memory-behaviour parameters of one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecProfile {
+    /// Touched memory, in 64 B blocks.
+    pub footprint_blocks: u64,
+    /// Fraction of memory operations that are stores.
+    pub write_ratio: f64,
+    /// Probability the next access continues a sequential run.
+    pub sequential: f64,
+    /// Fraction of random accesses that hit the hot set.
+    pub hot_prob: f64,
+    /// Hot-set size as a fraction of the footprint.
+    pub hot_fraction: f64,
+    /// Mean non-memory instructions between memory operations.
+    pub mean_gap: u32,
+}
+
+/// The 12 SPEC2006 benchmarks used in the paper's evaluation.
+pub const SPEC_NAMES: [&str; 12] = [
+    "mcf",
+    "lbm",
+    "libquantum",
+    "milc",
+    "soplex",
+    "gcc",
+    "bzip2",
+    "gobmk",
+    "hmmer",
+    "sjeng",
+    "namd",
+    "astar",
+];
+
+/// Returns the profile for one of [`SPEC_NAMES`].
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn profile(name: &str) -> SpecProfile {
+    // footprint, write, seq, hot_p, hot_f, gap
+    let p = |f: u64, w: f64, s: f64, hp: f64, hf: f64, g: u32| SpecProfile {
+        footprint_blocks: f,
+        write_ratio: w,
+        sequential: s,
+        hot_prob: hp,
+        hot_fraction: hf,
+        mean_gap: g,
+    };
+    match name {
+        // Pointer-chasing over a huge working set; read-dominated,
+        // cache-hostile.
+        "mcf" => p(1 << 20, 0.25, 0.05, 0.3, 0.05, 4),
+        // Streaming stencil, very write-intensive, perfectly regular.
+        "lbm" => p(1 << 19, 0.55, 0.95, 0.1, 0.02, 6),
+        // Sequential sweeps over a large quantum-register vector;
+        // extremely write-heavy and streaming.
+        "libquantum" => p(1 << 18, 0.50, 0.98, 0.05, 0.01, 5),
+        // Lattice QCD: large arrays, moderate writes, decent locality.
+        "milc" => p(1 << 19, 0.35, 0.70, 0.3, 0.1, 8),
+        // Sparse LP solver: irregular reads, some writes.
+        "soplex" => p(1 << 18, 0.20, 0.40, 0.5, 0.1, 10),
+        // Compiler: modest footprint, good locality, light writes.
+        "gcc" => p(1 << 16, 0.30, 0.60, 0.7, 0.2, 12),
+        // Compression: small hot window, balanced mix.
+        "bzip2" => p(1 << 15, 0.35, 0.75, 0.8, 0.25, 10),
+        // Game tree search: small footprint, read-mostly, cache-happy.
+        "gobmk" => p(1 << 14, 0.15, 0.50, 0.85, 0.3, 14),
+        // HMM search: streaming reads over profiles, few writes.
+        "hmmer" => p(1 << 15, 0.10, 0.90, 0.6, 0.2, 9),
+        // Chess: tiny working set, read-mostly.
+        "sjeng" => p(1 << 13, 0.15, 0.40, 0.9, 0.4, 15),
+        // Molecular dynamics: regular reads, few writes, compute-bound.
+        "namd" => p(1 << 16, 0.12, 0.85, 0.5, 0.2, 20),
+        // Path-finding: irregular, moderate writes.
+        "astar" => p(1 << 16, 0.30, 0.35, 0.6, 0.15, 10),
+        other => panic!("unknown SPEC benchmark {other:?}"),
+    }
+}
+
+/// A running instance of a synthetic SPEC-like benchmark.
+#[derive(Debug, Clone)]
+pub struct SpecWorkload {
+    name: String,
+    profile: SpecProfile,
+    base: PhysAddr,
+    rng: SmallRng,
+    cursor: u64,
+}
+
+impl SpecWorkload {
+    /// Creates the named benchmark, laying its footprint from `base`
+    /// (normally the non-persistent region's data base).
+    ///
+    /// `limit_blocks` clamps the footprint (for small test memories).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark name.
+    pub fn new(name: &str, base: PhysAddr, limit_blocks: u64, seed: u64) -> Self {
+        let mut profile = profile(name);
+        profile.footprint_blocks = profile.footprint_blocks.min(limit_blocks).max(64);
+        SpecWorkload {
+            name: name.to_string(),
+            profile,
+            base,
+            rng: SmallRng::seed_from_u64(seed ^ 0x5bec),
+            cursor: 0,
+        }
+    }
+
+    /// The effective profile in use (after clamping).
+    pub fn profile(&self) -> SpecProfile {
+        self.profile
+    }
+}
+
+impl TraceSource for SpecWorkload {
+    fn next_op(&mut self) -> Option<MemOp> {
+        let p = self.profile;
+        let block = if self.rng.gen_bool(p.sequential) {
+            self.cursor = (self.cursor + 1) % p.footprint_blocks;
+            self.cursor
+        } else if self.rng.gen_bool(p.hot_prob) {
+            let hot = ((p.footprint_blocks as f64 * p.hot_fraction) as u64).max(1);
+            self.cursor = self.rng.gen_range(0..hot);
+            self.cursor
+        } else {
+            self.cursor = self.rng.gen_range(0..p.footprint_blocks);
+            self.cursor
+        };
+        let kind = if self.rng.gen_bool(p.write_ratio) {
+            OpKind::Store
+        } else {
+            OpKind::Load
+        };
+        let gap = self.rng.gen_range(0..=p.mean_gap * 2);
+        Some(MemOp {
+            addr: PhysAddr(self.base.0 + block * 64),
+            kind,
+            gap,
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_resolve() {
+        for name in SPEC_NAMES {
+            let p = profile(name);
+            assert!(p.footprint_blocks > 0);
+            assert!((0.0..=1.0).contains(&p.write_ratio));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC benchmark")]
+    fn unknown_name_panics() {
+        profile("perlbench");
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let mut a = SpecWorkload::new("mcf", PhysAddr(0), 1 << 14, 7);
+        let mut b = SpecWorkload::new("mcf", PhysAddr(0), 1 << 14, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn addresses_stay_inside_footprint() {
+        let base = PhysAddr(1 << 20);
+        let mut w = SpecWorkload::new("lbm", base, 1 << 12, 1);
+        let span = w.profile().footprint_blocks * 64;
+        for _ in 0..10_000 {
+            let op = w.next_op().unwrap();
+            assert!(op.addr.0 >= base.0 && op.addr.0 < base.0 + span);
+            assert!(!op.kind.is_persist(), "SPEC never persists");
+        }
+    }
+
+    #[test]
+    fn write_ratio_is_respected_statistically() {
+        let mut w = SpecWorkload::new("libquantum", PhysAddr(0), 1 << 14, 3);
+        let writes = (0..20_000)
+            .filter(|_| w.next_op().unwrap().kind.is_write())
+            .count();
+        let ratio = writes as f64 / 20_000.0;
+        assert!((ratio - 0.50).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn footprint_clamps_to_limit() {
+        let w = SpecWorkload::new("mcf", PhysAddr(0), 128, 1);
+        assert_eq!(w.profile().footprint_blocks, 128);
+    }
+
+    #[test]
+    fn streaming_workloads_are_mostly_sequential() {
+        let mut w = SpecWorkload::new("libquantum", PhysAddr(0), 1 << 14, 9);
+        let mut prev = w.next_op().unwrap().addr.0;
+        let mut seq = 0;
+        for _ in 0..10_000 {
+            let a = w.next_op().unwrap().addr.0;
+            if a == prev + 64 {
+                seq += 1;
+            }
+            prev = a;
+        }
+        assert!(seq > 9_000, "sequential count = {seq}");
+    }
+}
+
+#[cfg(test)]
+mod profile_statistics {
+    use super::*;
+
+    /// Every profile's generated stream must match its declared write
+    /// ratio and rough sequentiality — the properties the figures
+    /// depend on (DESIGN.md §3 substitution argument).
+    #[test]
+    fn every_profile_matches_its_declared_statistics() {
+        const OPS: usize = 30_000;
+        for name in SPEC_NAMES {
+            let mut w = SpecWorkload::new(name, PhysAddr(0), 1 << 16, 11);
+            let declared = w.profile();
+            let mut writes = 0usize;
+            let mut seq = 0usize;
+            let mut prev = u64::MAX;
+            for _ in 0..OPS {
+                let op = w.next_op().expect("infinite generator");
+                if op.kind.is_write() {
+                    writes += 1;
+                }
+                if prev != u64::MAX && op.addr.0 == prev + 64 {
+                    seq += 1;
+                }
+                prev = op.addr.0;
+            }
+            let write_ratio = writes as f64 / OPS as f64;
+            assert!(
+                (write_ratio - declared.write_ratio).abs() < 0.03,
+                "{name}: write ratio {write_ratio} vs declared {}",
+                declared.write_ratio
+            );
+            let seq_ratio = seq as f64 / OPS as f64;
+            assert!(
+                seq_ratio >= declared.sequential * 0.8,
+                "{name}: sequential {seq_ratio} vs declared {}",
+                declared.sequential
+            );
+        }
+    }
+
+    /// Footprint ordering the literature reports: mcf's working set
+    /// dwarfs sjeng's.
+    #[test]
+    fn footprints_are_ordered_sanely() {
+        assert!(profile("mcf").footprint_blocks > profile("sjeng").footprint_blocks * 50);
+        assert!(profile("lbm").write_ratio > profile("hmmer").write_ratio);
+    }
+}

@@ -1,0 +1,477 @@
+//! The paper's PMDK microbenchmarks as real persistent data
+//! structures over [`PersistentHeap`]: Hashtable, Queue and ArraySwap
+//! (§4, Table 2).
+//!
+//! Every structure keeps all state in the persistent region and
+//! mutates through redo-log transactions, so any crash leaves it
+//! either before or after each operation — which the crash tests
+//! verify through real power-loss simulation.
+
+use triad_core::SecureMemory;
+use triad_sim::{PhysAddr, BLOCK_BYTES};
+
+use crate::heap::{HeapError, PersistentHeap, Result};
+
+fn read_u64(mem: &mut SecureMemory, addr: PhysAddr, off: usize) -> Result<u64> {
+    let b = mem.read(addr)?;
+    Ok(u64::from_le_bytes(b[off..off + 8].try_into().expect("8B")))
+}
+
+fn with_u64(block: [u8; BLOCK_BYTES], off: usize, v: u64) -> [u8; BLOCK_BYTES] {
+    let mut b = block;
+    b[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    b
+}
+
+/// A fixed-bucket chained hashtable of `u64 → u64`.
+///
+/// Layout: a header block (bucket count), `buckets/8` bucket blocks of
+/// 8-byte entry pointers, and one block per entry
+/// (`key, value, next`).
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentHashtable {
+    heap: PersistentHeap,
+    header: PhysAddr,
+    buckets: u64,
+}
+
+impl PersistentHashtable {
+    /// Creates a table with `buckets` buckets (rounded up to 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create(mem: &mut SecureMemory, heap: PersistentHeap, buckets: u64) -> Result<Self> {
+        let buckets = buckets.div_ceil(8) * 8;
+        let header = heap.alloc_blocks(mem, 1 + buckets / 8)?;
+        mem.write(header, &buckets.to_le_bytes())?;
+        mem.persist(header)?;
+        // Bucket blocks are freshly allocated ⇒ already zero.
+        Ok(PersistentHashtable {
+            heap,
+            header,
+            buckets,
+        })
+    }
+
+    /// Reopens a table from its header address (e.g. the heap root).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn open(mem: &mut SecureMemory, heap: PersistentHeap, header: PhysAddr) -> Result<Self> {
+        let buckets = read_u64(mem, header, 0)?;
+        Ok(PersistentHashtable {
+            heap,
+            header,
+            buckets,
+        })
+    }
+
+    /// The header address (store it as the heap root).
+    pub fn header(&self) -> PhysAddr {
+        self.header
+    }
+
+    fn bucket_slot(&self, key: u64) -> (PhysAddr, usize) {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let idx = h % self.buckets;
+        (
+            PhysAddr(self.header.0 + 64 + idx / 8 * 64),
+            (idx % 8) as usize * 8,
+        )
+    }
+
+    /// Inserts or updates `key → value` crash-atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/transaction failures.
+    pub fn insert(&self, mem: &mut SecureMemory, key: u64, value: u64) -> Result<()> {
+        // Update in place if present.
+        let mut cursor = {
+            let (baddr, off) = self.bucket_slot(key);
+            read_u64(mem, baddr, off)?
+        };
+        while cursor != 0 {
+            let entry = PhysAddr(cursor);
+            if read_u64(mem, entry, 0)? == key {
+                let block = with_u64(mem.read(entry)?, 8, value);
+                return self.heap.commit(mem, &[(entry, block)]);
+            }
+            cursor = read_u64(mem, entry, 16)?;
+        }
+        // Prepend a new entry.
+        let (baddr, off) = self.bucket_slot(key);
+        let head = read_u64(mem, baddr, off)?;
+        let entry = self.heap.alloc_blocks(mem, 1)?;
+        let mut eblock = [0u8; BLOCK_BYTES];
+        eblock = with_u64(eblock, 0, key);
+        eblock = with_u64(eblock, 8, value);
+        eblock = with_u64(eblock, 16, head);
+        let bblock = with_u64(mem.read(baddr)?, off, entry.0);
+        self.heap.commit(mem, &[(entry, eblock), (baddr, bblock)])
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn get(&self, mem: &mut SecureMemory, key: u64) -> Result<Option<u64>> {
+        let (baddr, off) = self.bucket_slot(key);
+        let mut cursor = read_u64(mem, baddr, off)?;
+        while cursor != 0 {
+            let entry = PhysAddr(cursor);
+            if read_u64(mem, entry, 0)? == key {
+                return Ok(Some(read_u64(mem, entry, 8)?));
+            }
+            cursor = read_u64(mem, entry, 16)?;
+        }
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/transaction failures.
+    pub fn remove(&self, mem: &mut SecureMemory, key: u64) -> Result<Option<u64>> {
+        let (baddr, off) = self.bucket_slot(key);
+        let mut prev: Option<PhysAddr> = None;
+        let mut cursor = read_u64(mem, baddr, off)?;
+        while cursor != 0 {
+            let entry = PhysAddr(cursor);
+            let next = read_u64(mem, entry, 16)?;
+            if read_u64(mem, entry, 0)? == key {
+                let value = read_u64(mem, entry, 8)?;
+                match prev {
+                    None => {
+                        let bblock = with_u64(mem.read(baddr)?, off, next);
+                        self.heap.commit(mem, &[(baddr, bblock)])?;
+                    }
+                    Some(p) => {
+                        let pblock = with_u64(mem.read(p)?, 16, next);
+                        self.heap.commit(mem, &[(p, pblock)])?;
+                    }
+                }
+                return Ok(Some(value));
+            }
+            prev = Some(entry);
+            cursor = next;
+        }
+        Ok(None)
+    }
+}
+
+/// A bounded persistent FIFO queue of `u64` values.
+///
+/// Layout: header block (capacity, head, tail) + one block per slot.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentQueue {
+    heap: PersistentHeap,
+    header: PhysAddr,
+    capacity: u64,
+}
+
+impl PersistentQueue {
+    /// Creates a queue holding up to `capacity` values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create(mem: &mut SecureMemory, heap: PersistentHeap, capacity: u64) -> Result<Self> {
+        let header = heap.alloc_blocks(mem, 1 + capacity)?;
+        mem.write(header, &capacity.to_le_bytes())?;
+        mem.persist(header)?;
+        Ok(PersistentQueue {
+            heap,
+            header,
+            capacity,
+        })
+    }
+
+    /// Reopens a queue from its header address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn open(mem: &mut SecureMemory, heap: PersistentHeap, header: PhysAddr) -> Result<Self> {
+        let capacity = read_u64(mem, header, 0)?;
+        Ok(PersistentQueue {
+            heap,
+            header,
+            capacity,
+        })
+    }
+
+    /// The header address.
+    pub fn header(&self) -> PhysAddr {
+        self.header
+    }
+
+    fn slot_addr(&self, index: u64) -> PhysAddr {
+        PhysAddr(self.header.0 + 64 + (index % self.capacity) * 64)
+    }
+
+    /// Number of queued values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn len(&self, mem: &mut SecureMemory) -> Result<u64> {
+        let head = read_u64(mem, self.header, 8)?;
+        let tail = read_u64(mem, self.header, 16)?;
+        Ok(tail - head)
+    }
+
+    /// Whether the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn is_empty(&self, mem: &mut SecureMemory) -> Result<bool> {
+        Ok(self.len(mem)? == 0)
+    }
+
+    /// Appends a value crash-atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfSpace`] when full.
+    pub fn enqueue(&self, mem: &mut SecureMemory, value: u64) -> Result<()> {
+        let hdr = mem.read(self.header)?;
+        let head = u64::from_le_bytes(hdr[8..16].try_into().expect("8B"));
+        let tail = u64::from_le_bytes(hdr[16..24].try_into().expect("8B"));
+        if tail - head >= self.capacity {
+            return Err(HeapError::OutOfSpace);
+        }
+        let slot = self.slot_addr(tail);
+        let sblock = with_u64(mem.read(slot)?, 0, value);
+        let hblock = with_u64(hdr, 16, tail + 1);
+        self.heap
+            .commit(mem, &[(slot, sblock), (self.header, hblock)])
+    }
+
+    /// Pops the oldest value crash-atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/transaction failures.
+    pub fn dequeue(&self, mem: &mut SecureMemory) -> Result<Option<u64>> {
+        let hdr = mem.read(self.header)?;
+        let head = u64::from_le_bytes(hdr[8..16].try_into().expect("8B"));
+        let tail = u64::from_le_bytes(hdr[16..24].try_into().expect("8B"));
+        if head == tail {
+            return Ok(None);
+        }
+        let value = read_u64(mem, self.slot_addr(head), 0)?;
+        let hblock = with_u64(hdr, 8, head + 1);
+        self.heap.commit(mem, &[(self.header, hblock)])?;
+        Ok(Some(value))
+    }
+}
+
+/// The ArraySwap microbenchmark: an array of 64 B records where random
+/// pairs are swapped crash-atomically.
+#[derive(Debug, Clone, Copy)]
+pub struct ArraySwap {
+    heap: PersistentHeap,
+    base: PhysAddr,
+    len: u64,
+}
+
+impl ArraySwap {
+    /// Allocates an array of `len` records, each initialised with its
+    /// own index in the first 8 bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create(mem: &mut SecureMemory, heap: PersistentHeap, len: u64) -> Result<Self> {
+        let base = heap.alloc_blocks(mem, len)?;
+        for i in 0..len {
+            let addr = PhysAddr(base.0 + i * 64);
+            mem.write(addr, &i.to_le_bytes())?;
+            mem.persist(addr)?;
+        }
+        Ok(ArraySwap { heap, base, len })
+    }
+
+    /// Reopens an array at a known base.
+    pub fn open(heap: PersistentHeap, base: PhysAddr, len: u64) -> Self {
+        ArraySwap { heap, base, len }
+    }
+
+    /// The array base address.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads record `i`'s tag (first 8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn tag(&self, mem: &mut SecureMemory, i: u64) -> Result<u64> {
+        read_u64(mem, PhysAddr(self.base.0 + (i % self.len) * 64), 0)
+    }
+
+    /// Swaps records `i` and `j` crash-atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/transaction failures.
+    pub fn swap(&self, mem: &mut SecureMemory, i: u64, j: u64) -> Result<()> {
+        let a = PhysAddr(self.base.0 + (i % self.len) * 64);
+        let b = PhysAddr(self.base.0 + (j % self.len) * 64);
+        if a == b {
+            return Ok(());
+        }
+        let va = mem.read(a)?;
+        let vb = mem.read(b)?;
+        self.heap.commit(mem, &[(a, vb), (b, va)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_core::{PersistScheme, SecureMemoryBuilder};
+
+    fn setup() -> (SecureMemory, PersistentHeap) {
+        let mut m = SecureMemoryBuilder::new()
+            .scheme(PersistScheme::triad_nvm(1))
+            .build()
+            .unwrap();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        (m, h)
+    }
+
+    #[test]
+    fn hashtable_insert_get_remove() {
+        let (mut m, h) = setup();
+        let t = PersistentHashtable::create(&mut m, h, 16).unwrap();
+        for k in 0..100u64 {
+            t.insert(&mut m, k, k * 10).unwrap();
+        }
+        for k in 0..100u64 {
+            assert_eq!(t.get(&mut m, k).unwrap(), Some(k * 10));
+        }
+        assert_eq!(t.get(&mut m, 1000).unwrap(), None);
+        assert_eq!(t.remove(&mut m, 50).unwrap(), Some(500));
+        assert_eq!(t.get(&mut m, 50).unwrap(), None);
+        assert_eq!(t.remove(&mut m, 50).unwrap(), None);
+        // Update in place.
+        t.insert(&mut m, 3, 99).unwrap();
+        assert_eq!(t.get(&mut m, 3).unwrap(), Some(99));
+    }
+
+    #[test]
+    fn hashtable_survives_crash() {
+        let (mut m, h) = setup();
+        let t = PersistentHashtable::create(&mut m, h, 16).unwrap();
+        h.set_root(&mut m, t.header().0).unwrap();
+        for k in 0..50u64 {
+            t.insert(&mut m, k, k + 1).unwrap();
+        }
+        m.crash();
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let root = h.root(&mut m).unwrap();
+        let t = PersistentHashtable::open(&mut m, h, PhysAddr(root)).unwrap();
+        for k in 0..50u64 {
+            assert_eq!(t.get(&mut m, k).unwrap(), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn queue_fifo_order_and_bounds() {
+        let (mut m, h) = setup();
+        let q = PersistentQueue::create(&mut m, h, 8).unwrap();
+        assert!(q.is_empty(&mut m).unwrap());
+        for v in 0..8u64 {
+            q.enqueue(&mut m, v).unwrap();
+        }
+        assert_eq!(q.enqueue(&mut m, 99).unwrap_err(), HeapError::OutOfSpace);
+        for v in 0..8u64 {
+            assert_eq!(q.dequeue(&mut m).unwrap(), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut m).unwrap(), None);
+        // Wrap-around.
+        for v in 100..110u64 {
+            q.enqueue(&mut m, v).unwrap();
+            assert_eq!(q.dequeue(&mut m).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn queue_survives_crash() {
+        let (mut m, h) = setup();
+        let q = PersistentQueue::create(&mut m, h, 32).unwrap();
+        h.set_root(&mut m, q.header().0).unwrap();
+        for v in 0..10u64 {
+            q.enqueue(&mut m, v).unwrap();
+        }
+        q.dequeue(&mut m).unwrap();
+        m.crash();
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let root = h.root(&mut m).unwrap();
+        let q = PersistentQueue::open(&mut m, h, PhysAddr(root)).unwrap();
+        assert_eq!(q.len(&mut m).unwrap(), 9);
+        assert_eq!(q.dequeue(&mut m).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn array_swap_is_a_permutation() {
+        let (mut m, h) = setup();
+        let a = ArraySwap::create(&mut m, h, 32).unwrap();
+        for s in 0..100u64 {
+            a.swap(&mut m, s * 7, s * 13 + 1).unwrap();
+        }
+        let mut seen: Vec<u64> = (0..32).map(|i| a.tag(&mut m, i).unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..32).collect::<Vec<_>>(),
+            "tags must stay a permutation"
+        );
+    }
+
+    #[test]
+    fn array_swap_crash_atomic() {
+        let (mut m, h) = setup();
+        let a = ArraySwap::create(&mut m, h, 16).unwrap();
+        a.swap(&mut m, 0, 1).unwrap();
+        m.crash();
+        m.recover().unwrap();
+        let h2 = PersistentHeap::open(&mut m).unwrap();
+        let a = ArraySwap::open(h2, a.base(), 16);
+        let mut seen: Vec<u64> = (0..16).map(|i| a.tag(&mut m, i).unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        assert_eq!(a.tag(&mut m, 0).unwrap(), 1);
+        assert_eq!(a.tag(&mut m, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn self_swap_is_noop() {
+        let (mut m, h) = setup();
+        let a = ArraySwap::create(&mut m, h, 4).unwrap();
+        a.swap(&mut m, 2, 2).unwrap();
+        assert_eq!(a.tag(&mut m, 2).unwrap(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 4);
+    }
+}

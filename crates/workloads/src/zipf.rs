@@ -1,0 +1,105 @@
+//! A Zipfian key sampler (precomputed-CDF inversion), for
+//! YCSB-style skewed key-value workloads.
+
+use rand::Rng;
+
+/// Samples `0..n` with probability ∝ `1 / (rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` items with exponent `s`
+    /// (YCSB uses s ≈ 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(s.is_finite() && s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no items (never true — `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one item index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, s: f64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut h = vec![0u64; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let h = histogram(100, 0.99, 50_000);
+        assert!(h[0] > h[1], "{} vs {}", h[0], h[1]);
+        assert!(h[0] > h[50] * 10, "head must dominate the tail");
+    }
+
+    #[test]
+    fn frequencies_roughly_follow_the_law() {
+        let h = histogram(10, 1.0, 200_000);
+        // p(0)/p(4) should be ≈ 5 for s = 1.
+        let ratio = h[0] as f64 / h[4] as f64;
+        assert!((3.5..7.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn all_items_reachable() {
+        let h = histogram(16, 0.5, 100_000);
+        assert!(h.iter().all(|&c| c > 0), "{h:?}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

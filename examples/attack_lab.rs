@@ -1,0 +1,157 @@
+//! Attack lab: walk through the §3.1 threat model attack by attack and
+//! watch each one get caught. A guided tour of *why* every piece of
+//! security metadata exists:
+//!
+//! 1. ciphertext tampering           → caught by the data MAC
+//! 2. MAC forgery                    → caught by the keyed MAC
+//! 3. counter rollback               → caught by the Bonsai Merkle Tree
+//! 4. full-state replay              → caught by the persisted BMT root
+//! 5. block relocation (splicing)    → caught by address-bound MACs
+//! 6. cross-boot snooping of scratch → defeated by session counters
+//!
+//! Run with: `cargo run --example attack_lab`
+
+use triad_nvm::core::{PersistScheme, SecureMemoryBuilder, SecureMemoryError};
+use triad_nvm::sim::PhysAddr;
+
+fn banner(n: u32, what: &str) {
+    println!("\n── attack {n}: {what} ──");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mem = SecureMemoryBuilder::new()
+        .capacity_bytes(8 << 20)
+        .persistent_fraction_eighths(4)
+        .scheme(PersistScheme::triad_nvm(2))
+        .build()?;
+    let layout = mem.memory_map().persistent().clone();
+    let p = mem.persistent_region().start();
+    let victim = p;
+    let other = PhysAddr(p.0 + 8 * 4096);
+
+    mem.write(victim, b"balance: 9000 coins")?;
+    mem.persist(victim)?;
+    mem.write(other, b"balance: 3 coins")?;
+    mem.persist(other)?;
+    println!("victim state persisted; machine powers off (attacker has the DIMM)");
+    mem.crash();
+
+    banner(1, "flip a ciphertext bit");
+    let mut mask = [0u8; 64];
+    mask[9] = 0x40;
+    mem.nvm_image_mut().tamper(victim.block(), mask);
+    mem.recover()?;
+    match mem.read(victim) {
+        Err(SecureMemoryError::MacMismatch { block }) => {
+            println!("caught: MAC mismatch at {block}");
+        }
+        other => panic!("undetected: {other:?}"),
+    }
+    // Undo for the next attack.
+    mem.nvm_image_mut().tamper(victim.block(), mask);
+    assert!(mem.read(victim).is_ok());
+
+    banner(2, "forge the MAC instead");
+    let mac_block = layout.mac_block_of(victim.block());
+    let mut tag_mask = [0u8; 64];
+    tag_mask[layout.mac_slot_of(victim.block()) * 8 + 1] = 0x40;
+    mem.crash();
+    mem.nvm_image_mut().tamper(mac_block, tag_mask);
+    mem.recover()?;
+    match mem.read(victim) {
+        Err(SecureMemoryError::MacMismatch { .. }) => {
+            println!("caught: a forged tag cannot match the keyed MAC");
+        }
+        other => panic!("undetected: {other:?}"),
+    }
+    mem.nvm_image_mut().tamper(mac_block, tag_mask);
+
+    banner(3, "roll the counter back");
+    let ctr_block = layout.counter_block_of(victim.block());
+    mem.crash();
+    let mut ctr_mask = [0u8; 64];
+    ctr_mask[8 + layout.counter_slot_of(victim.block()) / 8] = 0x03;
+    mem.nvm_image_mut().tamper(ctr_block, ctr_mask);
+    mem.recover()?;
+    match mem.read(victim) {
+        Err(SecureMemoryError::IntegrityViolation { kind, .. }) => {
+            println!("caught: {kind} failed Bonsai-Merkle-tree verification");
+        }
+        other => panic!("undetected: {other:?}"),
+    }
+    mem.nvm_image_mut().tamper(ctr_block, ctr_mask);
+
+    banner(4, "replay the complete old state (data + MAC + counter)");
+    // Capture state now, move the world forward, then roll everything
+    // back in concert — the §2.2 counter-replay attack.
+    let snapshot = (
+        mem.nvm_image().read(victim.block()),
+        mem.nvm_image().read(mac_block),
+        mem.nvm_image().read(ctr_block),
+    );
+    mem.write(victim, b"balance: 0 coins (spent!)")?;
+    mem.persist(victim)?;
+    mem.crash();
+    mem.nvm_image_mut().rollback_to(victim.block(), snapshot.0);
+    mem.nvm_image_mut().rollback_to(mac_block, snapshot.1);
+    mem.nvm_image_mut().rollback_to(ctr_block, snapshot.2);
+    mem.recover()?;
+    match mem.read(victim) {
+        Err(SecureMemoryError::IntegrityViolation { .. }) => {
+            println!("caught: the on-chip root remembers the newer counter");
+        }
+        Ok(data) => panic!(
+            "rolled back undetected to {:?}!",
+            std::str::from_utf8(&data[..19])
+        ),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // Repair: put the newest state back.
+    mem.crash();
+    let fixed = mem.recover()?;
+    assert!(!fixed.persistent_recovered || fixed.unverifiable.is_empty());
+
+    banner(5, "splice two ciphertext blocks (relocation)");
+    let mut mem = SecureMemoryBuilder::new()
+        .capacity_bytes(8 << 20)
+        .persistent_fraction_eighths(4)
+        .scheme(PersistScheme::triad_nvm(2))
+        .build()?;
+    let p = mem.persistent_region().start();
+    let rich = p;
+    let poor = PhysAddr(p.0 + 4096);
+    mem.write(rich, b"rich")?;
+    mem.persist(rich)?;
+    mem.write(poor, b"poor")?;
+    mem.persist(poor)?;
+    mem.crash();
+    let (a, b) = (
+        mem.nvm_image().read(rich.block()),
+        mem.nvm_image().read(poor.block()),
+    );
+    mem.nvm_image_mut().rollback_to(rich.block(), b);
+    mem.nvm_image_mut().rollback_to(poor.block(), a);
+    mem.recover()?;
+    match mem.read(poor) {
+        Err(SecureMemoryError::MacMismatch { .. }) => {
+            println!("caught: MACs bind the block's address, not just its bytes");
+        }
+        other => panic!("undetected: {other:?}"),
+    }
+
+    banner(6, "harvest non-persistent scratch across a reboot");
+    let np = mem.non_persistent_region().start();
+    mem.write(np, b"session key material")?;
+    mem.crash();
+    mem.recover()?;
+    let after = mem.read(np)?;
+    assert_eq!(after, [0u8; 64]);
+    println!(
+        "defeated: scratch reads as zeros after reboot (session {}), and the \
+         stale ciphertext in NVM was produced under a different session pad",
+        mem.session()
+    );
+
+    println!("\nall six attacks handled — this is what the metadata triad buys");
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! A small crash-safe key-value service built from the public API:
+//! persistent hashtable for the store, persistent queue as a durable
+//! write-ahead operation journal — the kind of application the paper's
+//! introduction motivates (recoverable in seconds, integrity-protected
+//! against cold-boot tampering).
+//!
+//! Run with: `cargo run --example persistent_kv`
+
+use triad_nvm::core::{PersistScheme, SecureMemory, SecureMemoryBuilder};
+use triad_nvm::sim::PhysAddr;
+use triad_nvm::workloads::heap::PersistentHeap;
+use triad_nvm::workloads::structures::{PersistentHashtable, PersistentQueue};
+
+/// A durable KV store: every `put` is journalled, applied, and acked.
+struct KvService {
+    table: PersistentHashtable,
+    journal: PersistentQueue,
+}
+
+impl KvService {
+    fn create(mem: &mut SecureMemory) -> Result<Self, Box<dyn std::error::Error>> {
+        let heap = PersistentHeap::format(mem)?;
+        let table = PersistentHashtable::create(mem, heap, 128)?;
+        let journal = PersistentQueue::create(mem, heap, 256)?;
+        // Root block: [table header, journal header].
+        let root = heap.alloc_blocks(mem, 1)?;
+        let mut block = [0u8; 64];
+        block[..8].copy_from_slice(&table.header().0.to_le_bytes());
+        block[8..16].copy_from_slice(&journal.header().0.to_le_bytes());
+        mem.write(root, &block)?;
+        mem.persist(root)?;
+        heap.set_root(mem, root.0)?;
+        let _ = heap;
+        Ok(KvService { table, journal })
+    }
+
+    fn open(mem: &mut SecureMemory) -> Result<Self, Box<dyn std::error::Error>> {
+        let heap = PersistentHeap::open(mem)?;
+        let root = PhysAddr(heap.root(mem)?);
+        let block = mem.read(root)?;
+        let table_hdr = PhysAddr(u64::from_le_bytes(block[..8].try_into()?));
+        let journal_hdr = PhysAddr(u64::from_le_bytes(block[8..16].try_into()?));
+        Ok(KvService {
+            table: PersistentHashtable::open(mem, heap, table_hdr)?,
+            journal: PersistentQueue::open(mem, heap, journal_hdr)?,
+        })
+    }
+
+    fn put(
+        &self,
+        mem: &mut SecureMemory,
+        key: u64,
+        value: u64,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        // Journal first (durable intent), then apply, then retire.
+        self.journal.enqueue(mem, key)?;
+        self.table.insert(mem, key, value)?;
+        self.journal.dequeue(mem)?;
+        Ok(())
+    }
+
+    fn get(
+        &self,
+        mem: &mut SecureMemory,
+        key: u64,
+    ) -> Result<Option<u64>, Box<dyn std::error::Error>> {
+        Ok(self.table.get(mem, key)?)
+    }
+
+    fn pending_ops(&self, mem: &mut SecureMemory) -> Result<u64, Box<dyn std::error::Error>> {
+        Ok(self.journal.len(mem)?)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mem = SecureMemoryBuilder::new()
+        .capacity_bytes(8 << 20)
+        .persistent_fraction_eighths(4)
+        .scheme(PersistScheme::triad_nvm(2))
+        .build()?;
+
+    let kv = KvService::create(&mut mem)?;
+    for i in 0..200u64 {
+        kv.put(&mut mem, i, i * i)?;
+    }
+    println!("stored 200 keys; get(13) = {:?}", kv.get(&mut mem, 13)?);
+
+    // Machine dies mid-flight; a put may have been journalled but not
+    // retired.
+    mem.crash();
+    let report = mem.recover()?;
+    assert!(report.persistent_recovered);
+    println!(
+        "recovered in an estimated {} ({} metadata blocks read)",
+        report.estimated_duration, report.persistent_blocks_read
+    );
+
+    let kv = KvService::open(&mut mem)?;
+    for i in 0..200u64 {
+        assert_eq!(kv.get(&mut mem, i)?, Some(i * i), "key {i}");
+    }
+    println!(
+        "all 200 keys intact after reboot; pending journal entries: {}",
+        kv.pending_ops(&mut mem)?
+    );
+
+    // Show the cost of durability: stats from the engine.
+    let stats = mem.stats();
+    println!(
+        "engine stats: {} persists, {} metadata writes from persistence, {} from evictions",
+        stats.persists,
+        stats.persist_metadata_writes(),
+        stats.evict_metadata_writes()
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the cryptographic and metadata substrates.
+
+use proptest::prelude::*;
+use triad_nvm::crypto::aes::Aes128;
+use triad_nvm::crypto::counter::{SplitCounterBlock, MINOR_MAX};
+use triad_nvm::crypto::ctr::{decrypt_block, encrypt_block, Iv};
+use triad_nvm::crypto::mac::MacEngine;
+use triad_nvm::meta::bmt::{self, BmtGeometry, NodeBuf};
+use triad_nvm::meta::layout::{RegionKind, RegionLayout};
+use triad_nvm::sim::BlockAddr;
+
+proptest! {
+    #[test]
+    fn aes_round_trips_any_block_any_key(key: [u8; 16], block: [u8; 16]) {
+        let cipher = Aes128::new(&key);
+        prop_assert_eq!(cipher.decrypt_block(cipher.encrypt_block(block)), block);
+    }
+
+    #[test]
+    fn ctr_mode_is_an_involution(key: [u8; 16], data: [u8; 64],
+                                 page in 0u64..1 << 40, offset in 0u8..64,
+                                 major: u64, minor in 0u8..128, session: u32) {
+        let cipher = Aes128::new(&key);
+        let iv = Iv::new(page, offset, major, minor, session);
+        let ct = encrypt_block(&cipher, &iv, &data);
+        prop_assert_eq!(decrypt_block(&cipher, &iv, &ct), data);
+    }
+
+    #[test]
+    fn split_counter_pack_unpack_round_trips(increments in prop::collection::vec(0usize..64, 0..300)) {
+        let mut cb = SplitCounterBlock::new();
+        for i in increments {
+            cb.increment(i);
+        }
+        let bytes = cb.to_bytes();
+        prop_assert_eq!(SplitCounterBlock::from_bytes(&bytes), cb);
+    }
+
+    #[test]
+    fn split_counter_never_reuses_pairs(slot in 0usize..64, rounds in 1usize..300) {
+        let mut cb = SplitCounterBlock::new();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert((cb.major(), cb.minor(slot)));
+        for _ in 0..rounds {
+            cb.increment(slot);
+            prop_assert!(
+                seen.insert((cb.major(), cb.minor(slot))),
+                "pair reused after increment"
+            );
+        }
+    }
+
+    #[test]
+    fn minor_counters_stay_in_range(increments in prop::collection::vec(0usize..64, 0..500)) {
+        let mut cb = SplitCounterBlock::new();
+        for i in increments {
+            cb.increment(i);
+        }
+        for s in 0..64 {
+            prop_assert!(cb.minor(s) <= MINOR_MAX);
+        }
+    }
+
+    #[test]
+    fn macs_differ_when_any_input_differs(key: [u8; 16], a: [u8; 64], b: [u8; 64]) {
+        prop_assume!(a != b);
+        let engine = MacEngine::new(key);
+        let iv = Iv::default();
+        prop_assert_ne!(engine.data_mac(0, &a, &iv), engine.data_mac(0, &b, &iv));
+    }
+
+    #[test]
+    fn geometry_levels_shrink_by_arity(leaves in 1u64..1_000_000, arity_pow in 1u32..4) {
+        let arity = 2u64.pow(arity_pow);
+        let g = BmtGeometry::new(leaves, arity);
+        prop_assert_eq!(g.nodes_at_level(0), leaves);
+        prop_assert_eq!(g.nodes_at_level(g.root_level()), 1);
+        for level in 0..g.root_level() {
+            let here = g.nodes_at_level(level);
+            let above = g.nodes_at_level(level + 1);
+            prop_assert_eq!(above, here.div_ceil(arity).max(1), "level {}", level);
+        }
+    }
+
+    #[test]
+    fn every_leaf_has_a_parent_slot(leaves in 1u64..100_000, index in 0u64..100_000) {
+        let g = BmtGeometry::new(leaves, 8);
+        prop_assume!(index < leaves);
+        let (pl, pi) = g.parent(0, index);
+        prop_assert_eq!(pl, 1);
+        prop_assert!(pi < g.nodes_at_level(1));
+        prop_assert!(g.child_slot(index) < 8);
+    }
+
+    #[test]
+    fn layout_roles_partition_every_block(region_blocks in 1000u64..100_000) {
+        let layout = RegionLayout::new(RegionKind::Persistent, BlockAddr(0), region_blocks, 8);
+        // Data + metadata + slack must tile the region without overlap:
+        // walk a sample of blocks and check role ordering.
+        let mut last_data = None;
+        for b in (0..region_blocks).step_by(97) {
+            let role = layout.role_of(BlockAddr(b));
+            if b < layout.data_blocks {
+                prop_assert_eq!(role, triad_nvm::meta::layout::BlockRole::Data);
+                last_data = Some(b);
+            }
+        }
+        if let Some(d) = last_data {
+            prop_assert!(d < layout.counter_start.0);
+        }
+    }
+
+    #[test]
+    fn rebuild_root_is_level_independent(touch in prop::collection::vec((0u64..224, any::<u8>()), 0..20)) {
+        // Any counter contents: the root computed from level 0 must
+        // equal the root computed from level 1 after level 1 was
+        // itself rebuilt from level 0.
+        let map = triad_nvm::meta::layout::MemoryMap::new(
+            &triad_nvm::sim::config::SystemConfig::tiny(),
+        );
+        let layout = map.persistent();
+        let engine = MacEngine::new([9; 16]);
+        let mut store = triad_nvm::mem::SparseStore::new();
+        for (leaf, byte) in touch {
+            let mut block = [0u8; 64];
+            block[9] = byte;
+            store.write(layout.counter_start + leaf % layout.counter_blocks, block);
+        }
+        let full = bmt::rebuild_from_level(&mut store, layout, &engine, 0);
+        let partial = bmt::rebuild_from_level(&mut store, layout, &engine, 1);
+        prop_assert_eq!(full.root, partial.root);
+    }
+
+    #[test]
+    fn node_buf_slots_are_independent(slots in prop::collection::vec((0usize..8, any::<u64>()), 0..32)) {
+        let mut node = NodeBuf::zeroed();
+        let mut model = [0u64; 8];
+        for (slot, value) in slots {
+            node.set_slot(slot, triad_nvm::crypto::Mac64(value));
+            model[slot] = value;
+        }
+        for (i, v) in model.iter().enumerate() {
+            prop_assert_eq!(node.slot(i).0, *v);
+        }
+    }
+}
