@@ -1,56 +1,44 @@
 //! Micro-benchmarks of the Bonsai-Merkle-tree machinery: full and
 //! partial rebuilds of a region tree, node hashing and slot updates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use triad_bench::timing::{bench, bench_batched, header};
 use triad_crypto::mac::MacEngine;
 use triad_mem::store::SparseStore;
 use triad_meta::bmt::{self, NodeBuf, NodeId};
 use triad_meta::layout::{MemoryMap, RegionKind};
 use triad_sim::config::SystemConfig;
 
-fn bench_bmt(c: &mut Criterion) {
+fn main() {
+    header("bmt");
     let engine = MacEngine::new([5; 16]);
     let map = MemoryMap::new(&SystemConfig::tiny());
 
-    c.bench_function("node_hash", |b| {
-        let id = NodeId {
-            region: RegionKind::Persistent,
-            level: 1,
-            index: 42,
-        };
-        b.iter(|| bmt::node_hash(&engine, black_box(id), black_box(&[7u8; 64])))
+    let id = NodeId {
+        region: RegionKind::Persistent,
+        level: 1,
+        index: 42,
+    };
+    bench("node_hash", || {
+        bmt::node_hash(&engine, black_box(id), black_box(&[7u8; 64]))
     });
 
-    c.bench_function("leaf_hash_zero_sentinel", |b| {
-        b.iter(|| bmt::leaf_hash(&engine, RegionKind::Persistent, 1, black_box(&[0u8; 64])))
+    bench("leaf_hash_zero_sentinel", || {
+        bmt::leaf_hash(&engine, RegionKind::Persistent, 1, black_box(&[0u8; 64]))
     });
 
-    c.bench_function("node_slot_update", |b| {
-        let mut node = NodeBuf::zeroed();
-        b.iter(|| {
-            node.set_slot(black_box(3), triad_crypto::Mac64(0xABCD));
-            node.slot(3)
-        })
+    let mut node = NodeBuf::zeroed();
+    bench("node_slot_update", || {
+        node.set_slot(black_box(3), triad_crypto::Mac64(0xABCD));
+        node.slot(3)
     });
 
-    let mut group = c.benchmark_group("rebuild");
     for from_level in [0u8, 1, 2] {
-        group.bench_with_input(
-            BenchmarkId::new("from_level", from_level),
-            &from_level,
-            |b, &lvl| {
-                let layout = map.persistent().clone();
-                b.iter_batched(
-                    SparseStore::new,
-                    |mut store| bmt::rebuild_from_level(&mut store, &layout, &engine, lvl),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
+        let layout = map.persistent().clone();
+        bench_batched(
+            &format!("rebuild/from_level/{from_level}"),
+            SparseStore::new,
+            |mut store| bmt::rebuild_from_level(&mut store, &layout, &engine, from_level),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_bmt);
-criterion_main!(benches);

@@ -2,45 +2,39 @@
 //! encryption, counter-mode pad generation for a 64 B memory block,
 //! SipHash-2-4 MACs, and split-counter pack/unpack.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use triad_bench::timing::{bench, header};
 use triad_crypto::aes::Aes128;
 use triad_crypto::counter::SplitCounterBlock;
 use triad_crypto::ctr::{encrypt_block, Iv};
 use triad_crypto::mac::MacEngine;
 use triad_crypto::siphash::SipHash24;
 
-fn bench_crypto(c: &mut Criterion) {
+fn main() {
+    header("crypto");
     let cipher = Aes128::new(&[7; 16]);
     let mac = MacEngine::new([3; 16]);
     let sip = SipHash24::from_halves(1, 2);
     let iv = Iv::new(10, 3, 7, 2, 0);
     let data = [0x5A; 64];
 
-    c.bench_function("aes128_encrypt_16B", |b| {
-        b.iter(|| cipher.encrypt_block(black_box([1u8; 16])))
+    bench("aes128_encrypt_16B", || {
+        cipher.encrypt_block(black_box([1u8; 16]))
     });
-    c.bench_function("ctr_encrypt_64B_block", |b| {
-        b.iter(|| encrypt_block(&cipher, black_box(&iv), black_box(&data)))
+    bench("ctr_encrypt_64B_block", || {
+        encrypt_block(&cipher, black_box(&iv), black_box(&data))
     });
-    c.bench_function("siphash24_64B", |b| b.iter(|| sip.hash(black_box(&data))));
-    c.bench_function("data_mac_64B", |b| {
-        b.iter(|| mac.data_mac(black_box(0x40), black_box(&data), black_box(&iv)))
+    bench("siphash24_64B", || sip.hash(black_box(&data)));
+    bench("data_mac_64B", || {
+        mac.data_mac(black_box(0x40), black_box(&data), black_box(&iv))
     });
-    c.bench_function("split_counter_pack_unpack", |b| {
-        let mut cb = SplitCounterBlock::new();
-        for i in 0..64 {
-            cb.increment(i);
-        }
-        b.iter(|| {
-            let bytes = black_box(&cb).to_bytes();
-            SplitCounterBlock::from_bytes(black_box(&bytes))
-        })
+    let mut cb = SplitCounterBlock::new();
+    for i in 0..64 {
+        cb.increment(i);
+    }
+    bench("split_counter_pack_unpack", || {
+        let bytes = black_box(&cb).to_bytes();
+        SplitCounterBlock::from_bytes(black_box(&bytes))
     });
-    c.bench_function("key_expansion", |b| {
-        b.iter(|| Aes128::new(black_box(&[9u8; 16])))
-    });
+    bench("key_expansion", || Aes128::new(black_box(&[9u8; 16])));
 }
-
-criterion_group!(benches, bench_crypto);
-criterion_main!(benches);

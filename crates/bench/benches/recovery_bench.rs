@@ -1,47 +1,36 @@
 //! Micro-benchmarks of functional crash recovery under each scheme —
 //! the host-side cost of the Figure 10 rebuilds on a small memory.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triad_bench::timing::{bench_batched, header};
 use triad_core::{PersistScheme, SecureMemoryBuilder};
 use triad_sim::PhysAddr;
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crash_recover");
-    group.sample_size(20);
+fn main() {
+    header("crash_recover");
     for scheme in [
         PersistScheme::triad_nvm(1),
         PersistScheme::triad_nvm(2),
         PersistScheme::triad_nvm(3),
         PersistScheme::Strict,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme),
-            &scheme,
-            |b, &scheme| {
-                b.iter_batched(
-                    || {
-                        let mut m = SecureMemoryBuilder::new().scheme(scheme).build().unwrap();
-                        let p = m.persistent_region().start();
-                        for i in 0..64u64 {
-                            let a = PhysAddr(p.0 + i * 4096);
-                            m.write(a, &i.to_le_bytes()).unwrap();
-                            m.persist(a).unwrap();
-                        }
-                        m.crash();
-                        m
-                    },
-                    |mut m| {
-                        let report = m.recover().unwrap();
-                        assert!(report.persistent_recovered);
-                        report
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
+        bench_batched(
+            &format!("crash_recover/{scheme}"),
+            || {
+                let mut m = SecureMemoryBuilder::new().scheme(scheme).build().unwrap();
+                let p = m.persistent_region().start();
+                for i in 0..64u64 {
+                    let a = PhysAddr(p.0 + i * 4096);
+                    m.write(a, &i.to_le_bytes()).unwrap();
+                    m.persist(a).unwrap();
+                }
+                m.crash();
+                m
+            },
+            |mut m| {
+                let report = m.recover().unwrap();
+                assert!(report.persistent_recovered);
+                report
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_recovery);
-criterion_main!(benches);

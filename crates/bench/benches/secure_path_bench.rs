@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the secure memory controller's hot paths:
 //! loads, plain stores, and persists under each persistence scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use triad_bench::timing::{bench, header};
 use triad_core::{PersistScheme, SecureMemory, SecureMemoryBuilder};
 use triad_sim::PhysAddr;
 
@@ -10,51 +10,41 @@ fn engine(scheme: PersistScheme) -> SecureMemory {
     SecureMemoryBuilder::new().scheme(scheme).build().unwrap()
 }
 
-fn bench_paths(c: &mut Criterion) {
-    c.bench_function("load_cached_block", |b| {
+fn main() {
+    header("secure_path");
+    {
         let mut m = engine(PersistScheme::triad_nvm(1));
         let p = m.persistent_region().start();
         m.write(p, &[1u8; 64]).unwrap();
-        b.iter(|| m.read(black_box(p)).unwrap())
-    });
+        bench("load_cached_block", || m.read(black_box(p)).unwrap());
+    }
 
-    c.bench_function("store_full_block", |b| {
+    {
         let mut m = engine(PersistScheme::triad_nvm(1));
         let np = m.non_persistent_region().start();
         let mut i = 0u64;
-        b.iter(|| {
+        bench("store_full_block", || {
             // Rotate over a small window so the L3 absorbs it.
             let addr = PhysAddr(np.0 + (i % 256) * 64);
             i += 1;
             m.write(black_box(addr), &[2u8; 64]).unwrap()
-        })
-    });
+        });
+    }
 
-    let mut group = c.benchmark_group("persist_block");
     for scheme in [
         PersistScheme::triad_nvm(1),
         PersistScheme::triad_nvm(2),
         PersistScheme::triad_nvm(3),
         PersistScheme::Strict,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme),
-            &scheme,
-            |b, &scheme| {
-                let mut m = engine(scheme);
-                let p = m.persistent_region().start();
-                let mut i = 0u64;
-                b.iter(|| {
-                    let addr = PhysAddr(p.0 + (i % 512) * 64);
-                    i += 1;
-                    m.write(addr, &i.to_le_bytes()).unwrap();
-                    m.persist(black_box(addr)).unwrap();
-                })
-            },
-        );
+        let mut m = engine(scheme);
+        let p = m.persistent_region().start();
+        let mut i = 0u64;
+        bench(&format!("persist_block/{scheme}"), || {
+            let addr = PhysAddr(p.0 + (i % 512) * 64);
+            i += 1;
+            m.write(addr, &i.to_le_bytes()).unwrap();
+            m.persist(black_box(addr)).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_paths);
-criterion_main!(benches);

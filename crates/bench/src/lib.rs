@@ -10,6 +10,8 @@ use triad_core::{PersistScheme, SecureMemoryBuilder, System};
 use triad_sim::config::SystemConfig;
 use triad_workloads::{build_workload, WorkloadEnv};
 
+pub mod timing;
+
 /// Result of one (workload, scheme) cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOutcome {

@@ -1,10 +1,11 @@
 //! Model-based property tests: the set-associative cache against a
 //! simple per-set reference model.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use triad_cache::{Cache, Replacement};
 use triad_sim::config::CacheConfig;
+use triad_sim::prop::{check, check_ops, Config};
+use triad_sim::rng::SplitMix64;
 use triad_sim::BlockAddr;
 
 #[derive(Debug, Clone)]
@@ -14,12 +15,16 @@ enum Op {
     Invalidate { addr: u64 },
 }
 
-fn op_strategy(addr_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => (0..addr_space, any::<bool>()).prop_map(|(addr, write)| Op::Access { addr, write }),
-        1 => (0..addr_space).prop_map(|addr| Op::Flush { addr }),
-        1 => (0..addr_space).prop_map(|addr| Op::Invalidate { addr }),
-    ]
+fn gen_op(rng: &mut SplitMix64, addr_space: u64) -> Op {
+    let addr = rng.gen_range(0..addr_space);
+    match rng.gen_range(0..8) {
+        0..=5 => Op::Access {
+            addr,
+            write: rng.gen_bool(0.5),
+        },
+        6 => Op::Flush { addr },
+        _ => Op::Invalidate { addr },
+    }
 }
 
 /// Reference model: per-set LRU list of (tag, dirty).
@@ -29,115 +34,149 @@ struct ModelSet {
     lines: Vec<(u64, bool)>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
 
-    #[test]
-    fn lru_cache_matches_reference_model(
-        ops in prop::collection::vec(op_strategy(64), 1..400),
-        ways in 1usize..4,
-    ) {
-        let sets = 4usize;
-        let mut cache = Cache::new(
-            "m",
-            CacheConfig::new(sets * ways * 64, ways, 1),
-            Replacement::Lru,
-        );
-        let mut model: HashMap<usize, ModelSet> = HashMap::new();
+fn run_against_model(ops: &[Op], ways: usize) -> Result<(), String> {
+    let sets = 4usize;
+    let mut cache = Cache::new(
+        "m",
+        CacheConfig::new(sets * ways * 64, ways, 1),
+        Replacement::Lru,
+    );
+    let mut model: HashMap<usize, ModelSet> = HashMap::new();
 
-        for op in ops {
-            match op {
-                Op::Access { addr, write } => {
-                    let out = cache.access(BlockAddr(addr), write);
-                    let set = model.entry(addr as usize % sets).or_default();
-                    let pos = set.lines.iter().position(|(t, _)| *t == addr);
-                    // Hit/miss agreement.
-                    prop_assert_eq!(out.hit, pos.is_some(), "addr {}", addr);
-                    match pos {
-                        Some(i) => {
-                            let (t, d) = set.lines.remove(i);
-                            set.lines.push((t, d || write));
-                            prop_assert_eq!(out.victim, None);
-                        }
-                        None => {
-                            if set.lines.len() == ways {
-                                let (vt, vd) = set.lines.remove(0);
-                                let v = out.victim.expect("model expects a victim");
-                                prop_assert_eq!(v.addr, BlockAddr(vt));
-                                prop_assert_eq!(v.dirty, vd);
-                            } else {
-                                prop_assert_eq!(out.victim, None);
-                            }
-                            set.lines.push((addr, write));
-                        }
+    for op in ops {
+        match *op {
+            Op::Access { addr, write } => {
+                let out = cache.access(BlockAddr(addr), write);
+                let set = model.entry(addr as usize % sets).or_default();
+                let pos = set.lines.iter().position(|(t, _)| *t == addr);
+                // Hit/miss agreement.
+                ensure!(out.hit == pos.is_some(), "addr {addr}: hit disagreement");
+                match pos {
+                    Some(i) => {
+                        let (t, d) = set.lines.remove(i);
+                        set.lines.push((t, d || write));
+                        ensure!(out.victim.is_none(), "addr {addr}: victim on a hit");
                     }
-                }
-                Op::Flush { addr } => {
-                    let flushed = cache.flush(BlockAddr(addr));
-                    let set = model.entry(addr as usize % sets).or_default();
-                    let model_flushed = set
-                        .lines
-                        .iter_mut()
-                        .find(|(t, d)| *t == addr && *d)
-                        .map(|entry| {
-                            entry.1 = false;
-                        })
-                        .is_some();
-                    prop_assert_eq!(flushed, model_flushed);
-                }
-                Op::Invalidate { addr } => {
-                    let inv = cache.invalidate(BlockAddr(addr));
-                    let set = model.entry(addr as usize % sets).or_default();
-                    let pos = set.lines.iter().position(|(t, _)| *t == addr);
-                    match pos {
-                        Some(i) => {
-                            let (_, d) = set.lines.remove(i);
-                            prop_assert_eq!(inv, Some(d));
+                    None => {
+                        if set.lines.len() == ways {
+                            let (vt, vd) = set.lines.remove(0);
+                            let v = out.victim.ok_or("model expects a victim")?;
+                            ensure!(v.addr == BlockAddr(vt), "victim addr {:?}", v.addr);
+                            ensure!(v.dirty == vd, "victim dirty {}", v.dirty);
+                        } else {
+                            ensure!(out.victim.is_none(), "unexpected victim");
                         }
-                        None => prop_assert_eq!(inv, None),
+                        set.lines.push((addr, write));
                     }
                 }
             }
-            // Global invariants after every step.
-            let model_occupancy: usize = model.values().map(|s| s.lines.len()).sum();
-            prop_assert_eq!(cache.occupancy(), model_occupancy);
-            let mut model_dirty: Vec<u64> = model
-                .values()
-                .flat_map(|s| s.lines.iter().filter(|(_, d)| *d).map(|(t, _)| *t))
-                .collect();
-            model_dirty.sort_unstable();
-            let mut cache_dirty: Vec<u64> =
-                cache.dirty_blocks().iter().map(|b| b.0).collect();
-            cache_dirty.sort_unstable();
-            prop_assert_eq!(cache_dirty, model_dirty);
+            Op::Flush { addr } => {
+                let flushed = cache.flush(BlockAddr(addr));
+                let set = model.entry(addr as usize % sets).or_default();
+                let model_flushed = set
+                    .lines
+                    .iter_mut()
+                    .find(|(t, d)| *t == addr && *d)
+                    .map(|entry| {
+                        entry.1 = false;
+                    })
+                    .is_some();
+                ensure!(flushed == model_flushed, "flush {addr} disagreement");
+            }
+            Op::Invalidate { addr } => {
+                let inv = cache.invalidate(BlockAddr(addr));
+                let set = model.entry(addr as usize % sets).or_default();
+                let pos = set.lines.iter().position(|(t, _)| *t == addr);
+                match pos {
+                    Some(i) => {
+                        let (_, d) = set.lines.remove(i);
+                        ensure!(inv == Some(d), "invalidate {addr} dirty bit");
+                    }
+                    None => ensure!(inv.is_none(), "invalidate {addr} phantom line"),
+                }
+            }
         }
+        // Global invariants after every step.
+        let model_occupancy: usize = model.values().map(|s| s.lines.len()).sum();
+        ensure!(
+            cache.occupancy() == model_occupancy,
+            "occupancy {} vs model {model_occupancy}",
+            cache.occupancy()
+        );
+        let mut model_dirty: Vec<u64> = model
+            .values()
+            .flat_map(|s| s.lines.iter().filter(|(_, d)| *d).map(|(t, _)| *t))
+            .collect();
+        model_dirty.sort_unstable();
+        let mut cache_dirty: Vec<u64> = cache.dirty_blocks().iter().map(|b| b.0).collect();
+        cache_dirty.sort_unstable();
+        ensure!(
+            cache_dirty == model_dirty,
+            "dirty sets diverged: {cache_dirty:?} vs {model_dirty:?}"
+        );
     }
+    Ok(())
+}
 
-    #[test]
-    fn occupancy_never_exceeds_capacity(
-        addrs in prop::collection::vec(0u64..10_000, 1..500),
-    ) {
-        let mut cache = Cache::new("c", CacheConfig::new(16 * 64, 4, 1), Replacement::Lru);
-        for a in addrs {
-            cache.access(BlockAddr(a), a % 3 == 0);
-            prop_assert!(cache.occupancy() <= 16);
-        }
-    }
+#[test]
+fn lru_cache_matches_reference_model() {
+    check_ops(
+        "lru_cache_matches_reference_model",
+        Config::cases(64),
+        |rng| {
+            let len = rng.gen_range(1..400) as usize;
+            (0..len).map(|_| gen_op(rng, 64)).collect::<Vec<Op>>()
+        },
+        |ops, params| {
+            let ways = params.gen_range(1..4) as usize;
+            run_against_model(ops, ways)
+        },
+    );
+}
 
-    #[test]
-    fn every_dirty_block_was_written(
-        ops in prop::collection::vec((0u64..128, any::<bool>()), 1..300),
-    ) {
+#[test]
+fn occupancy_never_exceeds_capacity() {
+    check(
+        "occupancy_never_exceeds_capacity",
+        Config::cases(64),
+        |rng| {
+            let len = rng.gen_range(1..500);
+            let mut cache = Cache::new("c", CacheConfig::new(16 * 64, 4, 1), Replacement::Lru);
+            for _ in 0..len {
+                let a = rng.gen_range(0..10_000);
+                cache.access(BlockAddr(a), a % 3 == 0);
+                ensure!(cache.occupancy() <= 16, "occupancy {}", cache.occupancy());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn every_dirty_block_was_written() {
+    check("every_dirty_block_was_written", Config::cases(64), |rng| {
+        let len = rng.gen_range(1..300);
         let mut cache = Cache::new("d", CacheConfig::new(8 * 64, 2, 1), Replacement::Lru);
         let mut written = std::collections::HashSet::new();
-        for (addr, write) in ops {
+        for _ in 0..len {
+            let addr = rng.gen_range(0..128);
+            let write = rng.gen_bool(0.5);
             cache.access(BlockAddr(addr), write);
             if write {
                 written.insert(addr);
             }
         }
         for b in cache.dirty_blocks() {
-            prop_assert!(written.contains(&b.0), "dirty block {} never written", b.0);
+            ensure!(written.contains(&b.0), "dirty block {} never written", b.0);
         }
-    }
+        Ok(())
+    });
 }

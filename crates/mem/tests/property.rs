@@ -1,10 +1,11 @@
 //! Property tests of the memory controller: durability of accepted
 //! writes (with coalescing), monotonic timing, and crash behaviour.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use triad_mem::controller::MemoryController;
 use triad_sim::config::SystemConfig;
+use triad_sim::prop::{check, check_ops, Config};
+use triad_sim::rng::SplitMix64;
 use triad_sim::{BlockAddr, Time};
 
 #[derive(Debug, Clone)]
@@ -14,77 +15,123 @@ enum Op {
     Advance { ns: u32 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0u64..64, any::<u8>()).prop_map(|(addr, fill)| Op::Write { addr, fill }),
-        3 => (0u64..64).prop_map(|addr| Op::Read { addr }),
-        1 => (0u32..100_000).prop_map(|ns| Op::Advance { ns }),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_range(0..8) {
+        0..=3 => Op::Write {
+            addr: rng.gen_range(0..64),
+            fill: rng.next_u32() as u8,
+        },
+        4..=6 => Op::Read {
+            addr: rng.gen_range(0..64),
+        },
+        _ => Op::Advance {
+            ns: rng.gen_range(0..100_000) as u32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
 
-    #[test]
-    fn reads_always_see_the_latest_accepted_write(
-        ops in prop::collection::vec(op_strategy(), 1..300),
-    ) {
-        let mut mc = MemoryController::new(SystemConfig::tiny().mem);
-        let mut model: HashMap<u64, u8> = HashMap::new();
-        let mut now = Time::ZERO;
-        for op in ops {
-            match op {
-                Op::Write { addr, fill } => {
-                    let accept = mc.write(BlockAddr(addr), [fill; 64], now);
-                    prop_assert!(accept >= now, "acceptance cannot be in the past");
-                    model.insert(addr, fill);
-                    now = accept;
-                }
-                Op::Read { addr } => {
-                    let (data, done) = mc.read(BlockAddr(addr), now);
-                    let expected = model.get(&addr).copied().unwrap_or(0);
-                    prop_assert_eq!(data, [expected; 64], "addr {}", addr);
-                    prop_assert!(done >= now);
-                }
-                Op::Advance { ns } => {
-                    now += triad_sim::Duration::from_ns(ns as u64);
+#[test]
+fn reads_always_see_the_latest_accepted_write() {
+    check_ops(
+        "reads_always_see_the_latest_accepted_write",
+        Config::cases(48),
+        |rng| {
+            let len = rng.gen_range(1..300) as usize;
+            (0..len).map(|_| gen_op(rng)).collect::<Vec<Op>>()
+        },
+        |ops, _| {
+            let mut mc = MemoryController::new(SystemConfig::tiny().mem);
+            let mut model: HashMap<u64, u8> = HashMap::new();
+            let mut now = Time::ZERO;
+            for op in ops {
+                match *op {
+                    Op::Write { addr, fill } => {
+                        let accept = mc.write(BlockAddr(addr), [fill; 64], now);
+                        ensure!(accept >= now, "acceptance cannot be in the past");
+                        model.insert(addr, fill);
+                        now = accept;
+                    }
+                    Op::Read { addr } => {
+                        let (data, done) = mc.read(BlockAddr(addr), now);
+                        let expected = model.get(&addr).copied().unwrap_or(0);
+                        ensure!(data == [expected; 64], "addr {addr}: stale read");
+                        ensure!(done >= now, "completion cannot be in the past");
+                    }
+                    Op::Advance { ns } => {
+                        now += triad_sim::Duration::from_ns(ns as u64);
+                    }
                 }
             }
-        }
-        // Everything accepted must survive a crash.
-        let image = mc.crash();
-        for (addr, fill) in model {
-            let expected = if fill == 0 { [0u8; 64] } else { [fill; 64] };
-            prop_assert_eq!(image.read(BlockAddr(addr)), expected);
-        }
-    }
+            // Everything accepted must survive a crash.
+            let image = mc.crash();
+            for (addr, fill) in model {
+                let expected = if fill == 0 { [0u8; 64] } else { [fill; 64] };
+                ensure!(
+                    image.read(BlockAddr(addr)) == expected,
+                    "addr {addr}: accepted write lost across the crash"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn wpq_occupancy_is_bounded(
-        writes in prop::collection::vec(0u64..4096, 1..200),
-    ) {
+#[test]
+fn wpq_occupancy_is_bounded() {
+    check("wpq_occupancy_is_bounded", Config::cases(48), |rng| {
         let cfg = SystemConfig::tiny().mem;
         let mut mc = MemoryController::new(cfg);
         let mut now = Time::ZERO;
-        for addr in writes {
+        let writes = rng.gen_range(1..200);
+        for _ in 0..writes {
+            let addr = rng.gen_range(0..4096);
             now = mc.write(BlockAddr(addr), [1; 64], now);
-            prop_assert!(mc.wpq_occupancy(now) <= cfg.wpq_entries);
+            ensure!(
+                mc.wpq_occupancy(now) <= cfg.wpq_entries,
+                "wpq overflowed: {} > {}",
+                mc.wpq_occupancy(now),
+                cfg.wpq_entries
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn coalescing_never_loses_the_newest_value(
-        fills in prop::collection::vec(any::<u8>(), 2..50),
-    ) {
-        // Hammer one block back-to-back: all but the first write should
-        // coalesce, and the final value must win.
-        let mut mc = MemoryController::new(SystemConfig::tiny().mem);
-        let last = *fills.last().unwrap();
-        for f in &fills {
-            mc.write(BlockAddr(7), [*f; 64], Time::ZERO);
-        }
-        prop_assert!(mc.stats().wpq_coalesced >= fills.len() as u64 - 1);
-        let expected = if last == 0 { [0u8; 64] } else { [last; 64] };
-        prop_assert_eq!(mc.crash().read(BlockAddr(7)), expected);
-    }
+#[test]
+fn coalescing_never_loses_the_newest_value() {
+    check(
+        "coalescing_never_loses_the_newest_value",
+        Config::cases(48),
+        |rng| {
+            // Hammer one block back-to-back: all but the first write should
+            // coalesce, and the final value must win.
+            let n = rng.gen_range(2..50) as usize;
+            let fills: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
+            let mut mc = MemoryController::new(SystemConfig::tiny().mem);
+            let last = *fills.last().unwrap();
+            for f in &fills {
+                mc.write(BlockAddr(7), [*f; 64], Time::ZERO);
+            }
+            ensure!(
+                mc.stats().wpq_coalesced >= fills.len() as u64 - 1,
+                "expected {} coalesces, saw {}",
+                fills.len() - 1,
+                mc.stats().wpq_coalesced
+            );
+            let expected = if last == 0 { [0u8; 64] } else { [last; 64] };
+            ensure!(
+                mc.crash().read(BlockAddr(7)) == expected,
+                "newest value lost"
+            );
+            Ok(())
+        },
+    );
 }

@@ -10,8 +10,11 @@
 //! * [`config`] — the full simulated-system configuration, with defaults
 //!   reproducing Table 1 of the ISCA'19 paper.
 //! * [`stats`] — lightweight named-counter statistics.
-//! * [`rng`] — a tiny deterministic SplitMix64 generator for components
-//!   that need cheap randomness without pulling in `rand`.
+//! * [`rng`] — the workspace's only randomness source: a deterministic
+//!   SplitMix64 generator with range/float/byte sampling and stream
+//!   splitting (no `rand` dependency anywhere).
+//! * [`prop`] — a minimal seeded property-testing harness (replaces
+//!   `proptest`; see DESIGN.md on the zero-dependency policy).
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod prop;
 pub mod rng;
 pub mod stats;
 pub mod time;

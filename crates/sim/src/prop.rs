@@ -1,0 +1,316 @@
+//! A minimal, self-contained property-testing harness.
+//!
+//! The workspace builds with **zero external crates**, so this module
+//! replaces `proptest` for the repository's property suites. It is
+//! deliberately small:
+//!
+//! * **Seeded case generation** — every case draws its inputs from a
+//!   [`SplitMix64`] stream derived from a fixed
+//!   base seed and the case index, so a run is reproducible bit-for-bit
+//!   on any machine.
+//! * **Fixed case counts** — no time-based stopping; [`Config::cases`]
+//!   is exact (overridable with `TRIAD_PROP_CASES`).
+//! * **Failure-seed reporting** — a failing case panics with its case
+//!   seed and a `TRIAD_PROP_SEED=0x… cargo test <name>` reproduction
+//!   line; setting that variable re-runs only the failing case.
+//! * **Greedy shrinking** (optional) — [`check_ops`] properties over an
+//!   operation vector shrink the failing vector by greedily deleting
+//!   chunks, reporting the smallest still-failing history.
+//!
+//! # Example
+//!
+//! ```rust
+//! use triad_sim::prop::{check, Config};
+//!
+//! check("addition_commutes", Config::cases(64), |rng| {
+//!     let (a, b) = (rng.next_u32() as u64, rng.next_u32() as u64);
+//!     if a + b == b + a {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("{a} + {b} misbehaved"))
+//!     }
+//! });
+//! ```
+
+use crate::rng::SplitMix64;
+
+/// Outcome of one property case: `Err` carries the failure description.
+pub type CaseResult = Result<(), String>;
+
+/// Salt separating the op-generation stream from the parameter stream
+/// of the same case, so shrinking can replay parameters unchanged.
+const PARAM_SALT: u64 = 0x9AEA_11A7_0B5E_55ED;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of seeded cases to run.
+    pub cases: u64,
+    /// Base seed; case `i` uses the stream `(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: 0x0071_21AD,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases with the default seed.
+    pub fn cases(cases: u64) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Overrides the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn effective_cases(&self) -> u64 {
+        match std::env::var("TRIAD_PROP_CASES") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("TRIAD_PROP_CASES={v:?} is not a number")),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+fn pinned_seed() -> Option<u64> {
+    let v = std::env::var("TRIAD_PROP_SEED").ok()?;
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("TRIAD_PROP_SEED={v:?} is not a u64")))
+}
+
+fn case_seed(cfg: &Config, index: u64) -> u64 {
+    SplitMix64::stream(cfg.seed, index).next_u64()
+}
+
+fn fail(name: &str, case: &str, seed: u64, msg: &str) -> ! {
+    panic!(
+        "property '{name}' failed on {case} (case seed {seed:#x}):\n\
+         {msg}\n\
+         reproduce with: TRIAD_PROP_SEED={seed:#x} cargo test {name}"
+    );
+}
+
+/// Runs `prop` over [`Config::cases`] seeded cases; the property draws
+/// all of its inputs from the provided per-case generator.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting its seed.
+pub fn check<F>(name: &str, cfg: Config, prop: F)
+where
+    F: Fn(&mut SplitMix64) -> CaseResult,
+{
+    if let Some(seed) = pinned_seed() {
+        let mut rng = SplitMix64::new(seed);
+        if let Err(msg) = prop(&mut rng) {
+            fail(name, "the pinned case", seed, &msg);
+        }
+        return;
+    }
+    for i in 0..cfg.effective_cases() {
+        let seed = case_seed(&cfg, i);
+        let mut rng = SplitMix64::new(seed);
+        if let Err(msg) = prop(&mut rng) {
+            fail(name, &format!("case {i}"), seed, &msg);
+        }
+    }
+}
+
+/// Runs a property over a generated operation vector, with greedy
+/// shrinking on failure.
+///
+/// `gen` draws the vector from the case's op stream; `prop` receives
+/// the (possibly shrunk) ops plus a *parameter* generator whose stream
+/// is fixed per case — auxiliary inputs drawn from it (scheme picks,
+/// way counts, …) replay identically across shrink attempts, so only
+/// the history shrinks.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting its seed and the
+/// smallest failing history found.
+pub fn check_ops<T, G, F>(name: &str, cfg: Config, gen: G, prop: F)
+where
+    T: Clone + std::fmt::Debug,
+    G: Fn(&mut SplitMix64) -> Vec<T>,
+    F: Fn(&[T], &mut SplitMix64) -> CaseResult,
+{
+    let run_seed = |seed: u64| -> Option<(Vec<T>, String)> {
+        let mut rng = SplitMix64::new(seed);
+        let ops = gen(&mut rng);
+        let mut params = SplitMix64::new(seed ^ PARAM_SALT);
+        match prop(&ops, &mut params) {
+            Ok(()) => None,
+            Err(msg) => Some((ops, msg)),
+        }
+    };
+    let shrink_and_fail = |case: &str, seed: u64, ops: Vec<T>, msg: String| -> ! {
+        let reprop = |ops: &[T]| -> CaseResult {
+            let mut params = SplitMix64::new(seed ^ PARAM_SALT);
+            prop(ops, &mut params)
+        };
+        let (ops, msg) = shrink(ops, msg, reprop);
+        fail(
+            name,
+            case,
+            seed,
+            &format!("{msg}\nshrunk history ({} ops): {ops:?}", ops.len()),
+        );
+    };
+    if let Some(seed) = pinned_seed() {
+        if let Some((ops, msg)) = run_seed(seed) {
+            shrink_and_fail("the pinned case", seed, ops, msg);
+        }
+        return;
+    }
+    for i in 0..cfg.effective_cases() {
+        let seed = case_seed(&cfg, i);
+        if let Some((ops, msg)) = run_seed(seed) {
+            shrink_and_fail(&format!("case {i}"), seed, ops, msg);
+        }
+    }
+}
+
+/// Greedy delta-debugging style shrink: repeatedly delete chunks
+/// (halving the chunk size down to single elements) while the property
+/// keeps failing. Deterministic and bounded.
+fn shrink<T, F>(mut ops: Vec<T>, mut msg: String, prop: F) -> (Vec<T>, String)
+where
+    T: Clone,
+    F: Fn(&[T]) -> CaseResult,
+{
+    let mut chunk = (ops.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < ops.len() {
+            let end = (start + chunk).min(ops.len());
+            let mut candidate = Vec::with_capacity(ops.len() - (end - start));
+            candidate.extend_from_slice(&ops[..start]);
+            candidate.extend_from_slice(&ops[end..]);
+            if candidate.is_empty() {
+                start += chunk;
+                continue;
+            }
+            if let Err(candidate_msg) = prop(&candidate) {
+                ops = candidate;
+                msg = candidate_msg;
+                progressed = true;
+                // Retry the same window: the next chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                return (ops, msg);
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let seen = std::cell::Cell::new(0u64);
+        check("always_true", Config::cases(10), |_| {
+            seen.set(seen.get() + 1);
+            Ok(())
+        });
+        assert_eq!(seen.get(), 10);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            for i in 0..5 {
+                let seed = case_seed(&Config::default(), i);
+                out.push(SplitMix64::new(seed).next_u64());
+            }
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "TRIAD_PROP_SEED=")]
+    fn failing_property_reports_seed() {
+        check(
+            "always_false",
+            Config::cases(3),
+            |_| Err("nope".to_string()),
+        );
+    }
+
+    #[test]
+    fn shrink_finds_a_minimal_failing_subset() {
+        // Fails whenever the vector contains a 7: the shrunk history
+        // must be exactly [7].
+        let ops = vec![1, 2, 7, 3, 4, 7, 5];
+        let (shrunk, _) = shrink(ops, "seed failure".into(), |ops| {
+            if ops.contains(&7) {
+                Err("has a 7".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(shrunk, vec![7]);
+    }
+
+    #[test]
+    fn shrink_preserves_order_dependent_failures() {
+        // Fails only when a 2 appears somewhere after a 1.
+        let ops = vec![3, 1, 9, 9, 2, 4];
+        let (shrunk, _) = shrink(ops, "seed failure".into(), |ops| {
+            let one = ops.iter().position(|&x| x == 1);
+            let two = ops.iter().rposition(|&x| x == 2);
+            match (one, two) {
+                (Some(a), Some(b)) if a < b => Err("1 then 2".into()),
+                _ => Ok(()),
+            }
+        });
+        assert_eq!(shrunk, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrunk history (1 ops)")]
+    fn check_ops_shrinks_before_reporting() {
+        check_ops(
+            "contains_a_multiple_of_97",
+            Config::cases(50),
+            |rng| {
+                (0..40)
+                    .map(|_| rng.gen_range(0..1000))
+                    .collect::<Vec<u64>>()
+            },
+            |ops, _| {
+                if ops.iter().any(|v| v % 97 == 0) {
+                    Err("found one".into())
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+}

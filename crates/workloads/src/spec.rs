@@ -10,8 +10,7 @@
 //! All SPEC workloads allocate in the **non-persistent** region and
 //! never issue persists.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use triad_sim::rng::SplitMix64;
 use triad_sim::trace::{MemOp, OpKind, TraceSource};
 use triad_sim::PhysAddr;
 
@@ -100,7 +99,7 @@ pub struct SpecWorkload {
     name: String,
     profile: SpecProfile,
     base: PhysAddr,
-    rng: SmallRng,
+    rng: SplitMix64,
     cursor: u64,
 }
 
@@ -120,7 +119,7 @@ impl SpecWorkload {
             name: name.to_string(),
             profile,
             base,
-            rng: SmallRng::seed_from_u64(seed ^ 0x5bec),
+            rng: SplitMix64::new(seed ^ 0x5bec),
             cursor: 0,
         }
     }
@@ -150,7 +149,7 @@ impl TraceSource for SpecWorkload {
         } else {
             OpKind::Load
         };
-        let gap = self.rng.gen_range(0..=p.mean_gap * 2);
+        let gap = self.rng.gen_range_inclusive(0..=(p.mean_gap * 2) as u64) as u32;
         Some(MemOp {
             addr: PhysAddr(self.base.0 + block * 64),
             kind,

@@ -8,8 +8,7 @@
 //! stride `S` bytes, `RW` reads per write, writes persisted in place
 //! (DAX semantics).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use triad_sim::rng::SplitMix64;
 use triad_sim::trace::{MemOp, TraceSource};
 use triad_sim::PhysAddr;
 
@@ -41,7 +40,7 @@ pub struct PmdkTrace {
     kind: PmdkKind,
     base: PhysAddr,
     data_blocks: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     /// Queued micro-ops of the operation in flight.
     pending: Vec<MemOp>,
     seq: u64,
@@ -67,7 +66,7 @@ impl PmdkTrace {
             kind,
             base,
             data_blocks: area_blocks - META_BLOCKS,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9d1c),
+            rng: SplitMix64::new(seed ^ 0x9d1c),
             pending: Vec::new(),
             seq: 0,
         }
@@ -121,7 +120,7 @@ impl PmdkTrace {
                 self.queue_tx(&[slot, self.header()]);
             }
             PmdkKind::ArraySwap => {
-                let (ia, ib) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
+                let (ia, ib) = (self.rng.next_u64(), self.rng.next_u64());
                 let a = self.data_block(ia);
                 let b = self.data_block(ib);
                 self.pending.push(MemOp::load(a, 200));

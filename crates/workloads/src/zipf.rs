@@ -1,7 +1,7 @@
 //! A Zipfian key sampler (precomputed-CDF inversion), for
 //! YCSB-style skewed key-value workloads.
 
-use rand::Rng;
+use triad_sim::rng::SplitMix64;
 
 /// Samples `0..n` with probability ∝ `1 / (rank+1)^s`.
 #[derive(Debug, Clone)]
@@ -43,8 +43,8 @@ impl Zipf {
     }
 
     /// Draws one item index.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -52,12 +52,10 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn histogram(n: usize, s: f64, draws: usize) -> Vec<u64> {
         let z = Zipf::new(n, s);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let mut h = vec![0u64; n];
         for _ in 0..draws {
             h[z.sample(&mut rng)] += 1;
@@ -89,7 +87,7 @@ mod tests {
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(7, 0.99);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 7);
         }
@@ -101,5 +99,37 @@ mod tests {
     #[should_panic(expected = "at least one item")]
     fn zero_items_rejected() {
         Zipf::new(0, 1.0);
+    }
+
+    /// Golden values pinning the exact sampling sequence: the
+    /// `rand::SmallRng` → [`SplitMix64`] port must stay reproducible,
+    /// and any accidental change to the CDF inversion or to the float
+    /// sampling path shows up here immediately.
+    #[test]
+    fn golden_sample_sequence() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = SplitMix64::new(7);
+        let first: Vec<usize> = (0..16).map(|_| z.sample(&mut rng)).collect();
+        assert_eq!(first, GOLDEN_SEED7_N100_S099);
+    }
+
+    /// First 16 draws of `Zipf::new(100, 0.99)` under seed 7.
+    const GOLDEN_SEED7_N100_S099: [usize; 16] =
+        [3, 0, 60, 11, 5, 1, 6, 2, 0, 4, 0, 81, 65, 51, 49, 9];
+
+    /// The empirical head mass must match the analytic Zipf mass — the
+    /// distribution itself, not just the sequence, survives the port.
+    #[test]
+    fn head_mass_matches_analytic_value() {
+        let n = 100;
+        let s = 0.99;
+        let h = histogram(n, s, 200_000);
+        let harmonic: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).sum();
+        let analytic_head: f64 = (1..=10).map(|r| 1.0 / (r as f64).powf(s) / harmonic).sum();
+        let empirical_head = h[..10].iter().sum::<u64>() as f64 / 200_000.0;
+        assert!(
+            (empirical_head - analytic_head).abs() < 0.01,
+            "head mass {empirical_head} vs analytic {analytic_head}"
+        );
     }
 }

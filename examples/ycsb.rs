@@ -8,9 +8,8 @@
 //!
 //! Run with: `cargo run --release --example ycsb`
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use triad_nvm::core::{PersistScheme, SecureMemory, SecureMemoryBuilder};
+use triad_nvm::sim::rng::SplitMix64;
 use triad_nvm::sim::PhysAddr;
 use triad_nvm::workloads::heap::PersistentHeap;
 use triad_nvm::workloads::structures::PersistentHashtable;
@@ -27,7 +26,7 @@ fn run_workload(
     model: &mut [u64],
 ) -> Result<(), Box<dyn std::error::Error>> {
     let zipf = Zipf::new(KEYS as usize, 0.99);
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     let t0 = mem.now();
     let (mut reads, mut updates) = (0u64, 0u64);
     for i in 0..OPS {
@@ -76,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Crash in the middle of another update burst.
     let zipf = Zipf::new(KEYS as usize, 0.99);
-    let mut rng = SmallRng::seed_from_u64(99);
+    let mut rng = SplitMix64::new(99);
     for i in 0..2_500u64 {
         let key = zipf.sample(&mut rng) as u64;
         let value = i + 9_000_000;

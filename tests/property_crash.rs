@@ -1,219 +1,65 @@
 //! Property-based crash-consistency testing: arbitrary interleavings
-//! of writes, persists, evictiom pressure, crashes (including crashes
+//! of writes, persists, eviction pressure, crashes (including crashes
 //! injected *inside* the atomic metadata-persist protocol) must always
 //! recover to a verified state where every block reads a value that is
 //!
 //! 1. some value that was actually written to it (or zero), and
 //! 2. at least as new as the last explicitly persisted value.
 
-use proptest::prelude::*;
-use triad_nvm::core::{CounterPersistence, PersistScheme, SecureMemoryBuilder, SecureMemoryError};
-use triad_nvm::sim::{PhysAddr, Time};
+mod common;
 
-/// Operations the property machine can perform.
-#[derive(Debug, Clone)]
-enum Op {
-    /// Write a fresh (monotonically numbered) value to page `page`.
-    Write { page: u8 },
-    /// Persist page `page` (clwb + sfence).
-    Persist { page: u8 },
-    /// Touch many other pages to force evictions.
-    Pressure { seed: u8 },
-    /// Clean power loss + recovery.
-    Crash,
-    /// Arm a crash after `n` WPQ copies inside a future atomic persist.
-    ArmCrash { n: u8 },
-    /// Open an epoch (deferred persists) if none is open.
-    BeginEpoch,
-    /// Close the epoch, making its deferred persists durable.
-    EndEpoch,
-}
+use common::{run_history, Op};
+use triad_nvm::core::{CounterPersistence, PersistScheme};
+use triad_nvm::sim::prop::{check_ops, Config};
+use triad_nvm::sim::rng::SplitMix64;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => any::<u8>().prop_map(|page| Op::Write { page: page % 16 }),
-        3 => any::<u8>().prop_map(|page| Op::Persist { page: page % 16 }),
-        1 => any::<u8>().prop_map(|seed| Op::Pressure { seed }),
-        1 => Just(Op::Crash),
-        1 => any::<u8>().prop_map(|n| Op::ArmCrash { n: n % 24 }),
-        1 => Just(Op::BeginEpoch),
-        1 => Just(Op::EndEpoch),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn crash_consistency_holds_for_arbitrary_histories(
-        ops in prop::collection::vec(op_strategy(), 1..120),
-        scheme_pick in 0u8..5,
-    ) {
-        let scheme = match scheme_pick {
-            0 => PersistScheme::triad_nvm(1),
-            1 => PersistScheme::triad_nvm(2),
-            2 => PersistScheme::triad_nvm(3),
-            _ => PersistScheme::Strict,
-        };
-        // Variant 4 exercises the Osiris counter relaxation on top of
-        // TriadNVM-2; it shares the same consistency contract.
-        let counter_persistence = if scheme_pick == 4 {
-            CounterPersistence::Osiris { interval: 3 }
-        } else {
-            CounterPersistence::Strict
-        };
-        let scheme = if scheme_pick == 4 {
-            PersistScheme::triad_nvm(2)
-        } else {
-            scheme
-        };
-        let mut mem = SecureMemoryBuilder::new()
-            .scheme(scheme)
-            .counter_persistence(counter_persistence)
-            .key_seed(99)
-            .build()
-            .unwrap();
-        let p = mem.persistent_region().start();
-        let page_addr = |page: u8| PhysAddr(p.0 + page as u64 * 4096);
-
-        // Model: per page, the last value written and the floor (last
-        // value guaranteed durable by an explicit persist).
-        let mut written = [0u64; 16];
-        let mut floor = [0u64; 16];
-        // Floors promised by persists inside a still-open epoch: they
-        // only take effect at the epoch boundary.
-        let mut epoch_floor: Option<[u64; 16]> = None;
-        let mut next_value = 1u64;
-        let mut crashed = false;
-
-        let recover_and_check = |mem: &mut triad_nvm::core::SecureMemory,
-                                     written: &mut [u64; 16],
-                                     floor: &mut [u64; 16]| {
-            let report = mem.recover().unwrap();
-            prop_assert!(report.persistent_recovered, "{report:?}");
-            for page in 0..16u8 {
-                let data = mem.read(page_addr(page)).unwrap();
-                let value = u64::from_le_bytes(data[..8].try_into().unwrap());
-                prop_assert!(
-                    value >= floor[page as usize],
-                    "page {page}: rolled back below the persist floor: \
-                     {value} < {}", floor[page as usize]
-                );
-                prop_assert!(
-                    value <= written[page as usize],
-                    "page {page}: value {value} was never written (max {})",
-                    written[page as usize]
-                );
-                // Whatever survived is the new baseline: unpersisted
-                // cached writes above it are gone.
-                floor[page as usize] = value;
-                written[page as usize] = value;
-            }
-            Ok(())
-        };
-
-        for op in ops {
-            if crashed {
-                recover_and_check(&mut mem, &mut written, &mut floor)?;
-                crashed = false;
-            }
-            match op {
-                Op::Write { page } => {
-                    let v = next_value;
-                    next_value += 1;
-                    match mem.write(page_addr(page), &v.to_le_bytes()) {
-                        Ok(()) => written[page as usize] = v,
-                        Err(SecureMemoryError::NeedsRecovery) => {
-                            // An armed crash fired inside an eviction's
-                            // atomic persist; the write is lost.
-                            crashed = true;
-                        }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
-                    }
-                }
-                Op::Persist { page } => {
-                    match mem.persist(page_addr(page)) {
-                        Ok(()) => {
-                            match &mut epoch_floor {
-                                // Deferred: durable only at end_epoch.
-                                Some(pending) => {
-                                    pending[page as usize] = written[page as usize]
-                                }
-                                None => floor[page as usize] = written[page as usize],
-                            }
-                        }
-                        Err(SecureMemoryError::NeedsRecovery) => {
-                            // Crash mid-protocol: the staged update is
-                            // replayed at recovery, so the persist is
-                            // still durable (never happens inside an
-                            // epoch, where persists defer instead).
-                            if epoch_floor.is_none() {
-                                floor[page as usize] = written[page as usize];
-                            }
-                            crashed = true;
-                            epoch_floor = None;
-                        }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
-                    }
-                }
-                Op::BeginEpoch => {
-                    if !mem.epoch_open() {
-                        mem.begin_epoch();
-                        epoch_floor = Some(floor);
-                    }
-                }
-                Op::EndEpoch => {
-                    match mem.end_epoch(Time::ZERO) {
-                        Ok(_) => {
-                            if let Some(pending) = epoch_floor.take() {
-                                floor = pending;
-                            }
-                        }
-                        Err(SecureMemoryError::NeedsRecovery) => {
-                            // Crash during the boundary flush: each
-                            // member either persisted or not — floors
-                            // cannot be promised, keep the old ones.
-                            crashed = true;
-                            epoch_floor = None;
-                        }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
-                    }
-                }
-                Op::Pressure { seed } => {
-                    let len = mem.persistent_region().len_bytes();
-                    for i in 0..40u64 {
-                        let addr = PhysAddr(
-                            p.0 + 16 * 4096
-                                + ((seed as u64 * 131 + i * 37) * 4096)
-                                    % (len - 17 * 4096),
-                        );
-                        match mem.write(addr, b"pressure") {
-                            Ok(()) => {}
-                            Err(SecureMemoryError::NeedsRecovery) => {
-                                crashed = true;
-                                break;
-                            }
-                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
-                        }
-                    }
-                }
-                Op::Crash => {
-                    mem.crash();
-                    crashed = true;
-                    epoch_floor = None; // deferred persists are lost
-                }
-                Op::ArmCrash { n } => {
-                    mem.inject_crash_after_wpq_writes(n as u64);
-                }
-            }
-        }
-        if crashed {
-            recover_and_check(&mut mem, &mut written, &mut floor)?;
-        }
-        // Final sanity: one more clean crash/recover cycle.
-        mem.crash();
-        recover_and_check(&mut mem, &mut written, &mut floor)?;
+/// Mirrors the old proptest weights — 4 Write : 3 Persist : 1 each for
+/// Pressure / Crash / ArmCrash / BeginEpoch / EndEpoch.
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.gen_range(0..12) {
+        0..=3 => Op::Write {
+            page: rng.gen_range(0..16) as u8,
+        },
+        4..=6 => Op::Persist {
+            page: rng.gen_range(0..16) as u8,
+        },
+        7 => Op::Pressure {
+            seed: rng.next_u32() as u8,
+        },
+        8 => Op::Crash,
+        9 => Op::ArmCrash {
+            n: rng.gen_range(0..24) as u8,
+        },
+        10 => Op::BeginEpoch,
+        _ => Op::EndEpoch,
     }
+}
+
+#[test]
+fn crash_consistency_holds_for_arbitrary_histories() {
+    check_ops(
+        "crash_consistency_holds_for_arbitrary_histories",
+        Config::cases(24),
+        |rng| {
+            let len = rng.gen_range(1..120) as usize;
+            (0..len).map(|_| gen_op(rng)).collect::<Vec<Op>>()
+        },
+        |ops, params| {
+            let scheme_pick = params.gen_range(0..5) as u8;
+            let scheme = match scheme_pick {
+                0 => PersistScheme::triad_nvm(1),
+                1 | 4 => PersistScheme::triad_nvm(2),
+                2 => PersistScheme::triad_nvm(3),
+                _ => PersistScheme::Strict,
+            };
+            // Variant 4 exercises the Osiris counter relaxation on top
+            // of TriadNVM-2; it shares the same consistency contract.
+            let counter_persistence = if scheme_pick == 4 {
+                CounterPersistence::Osiris { interval: 3 }
+            } else {
+                CounterPersistence::Strict
+            };
+            run_history(ops, scheme, counter_persistence)
+        },
+    );
 }
