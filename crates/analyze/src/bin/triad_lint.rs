@@ -1,0 +1,107 @@
+//! `triad-lint`: run the workspace's static-analysis rules.
+//!
+//! ```text
+//! triad-lint [--root PATH] [--json] [--deny-all] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error. `--locked` and
+//! `--offline` are accepted and ignored so the canonical CI line can
+//! pass its cargo flags through verbatim.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use triad_analyze::{analyze_repo, lint, rules, Severity};
+
+const USAGE: &str = "\
+triad-lint: static analysis for the Triad-NVM workspace
+
+USAGE:
+    triad-lint [OPTIONS]
+
+OPTIONS:
+    --root PATH    workspace root to scan (default: current directory)
+    --json         emit findings as JSON instead of human-readable text
+    --deny-all     treat warnings as errors for the exit code
+    --list-rules   print the rule catalogue and exit
+    -h, --help     print this help
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny_all = false;
+    let mut list_rules = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("triad-lint: --root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+            }
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--list-rules" => list_rules = true,
+            // Tolerated so CI can append its cargo flags after `--`.
+            "--locked" | "--offline" => {}
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("triad-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in rules::all() {
+            println!(
+                "{:<24} {:<8} {}",
+                rule.id(),
+                rule.severity().as_str(),
+                rule.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match analyze_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("triad-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!(
+            "{}",
+            lint::render_json(&report.findings, report.files_scanned)
+        );
+    } else {
+        print!(
+            "{}",
+            lint::render_human(&report.findings, report.files_scanned)
+        );
+    }
+
+    let fail = if deny_all {
+        !report.findings.is_empty()
+    } else {
+        report
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Error)
+    };
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

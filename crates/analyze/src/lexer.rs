@@ -1,0 +1,514 @@
+//! A hand-rolled Rust lexer, sufficient for linting.
+//!
+//! Produces a flat token stream with `file:line:col` spans. The point
+//! is not to parse Rust — it is to *never* mistake the inside of a
+//! comment, string, raw string, char literal or lifetime for code, so
+//! that token-level rules (and the `// triad-lint: allow(...)`
+//! suppression scanner) are trustworthy. Anything the lexer does not
+//! recognise becomes a single-character punctuation token.
+
+/// A source position (1-based line and column, in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `r#match`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `<`, `{`, ...).
+    Punct(char),
+    /// A string / char / byte / numeric literal (contents discarded).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment, kept out of the token stream but retained for the
+/// suppression scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Clone, Default)]
+pub struct LexOutput {
+    /// Code tokens in order.
+    pub tokens: Vec<Token>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: std::marker::PhantomData<&'a ()>,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// degrades into punctuation tokens rather than an error, which is the
+/// right trade for a linter (the compiler owns rejecting bad syntax).
+pub fn lex(src: &str) -> LexOutput {
+    let mut cur = Cursor::new(src);
+    let mut out = LexOutput::default();
+    while let Some(c) = cur.peek() {
+        let span = cur.span();
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek() {
+                    if ch == '\n' {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text,
+                    line: span.line,
+                    end_line: span.line,
+                });
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(ch), _) => {
+                            text.push(ch);
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated: EOF ends it
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    line: span.line,
+                    end_line: cur.line,
+                });
+            }
+            '"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    span,
+                });
+            }
+            '\'' => {
+                lex_quote(&mut cur, &mut out, span);
+            }
+            'r' | 'b' if starts_prefixed_literal(&cur) => {
+                lex_prefixed_literal(&mut cur, &mut out, span);
+            }
+            _ if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    span,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(ch) = cur.peek() {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    name.push(ch);
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    span,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    span,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`,
+/// `br#"` — i.e. a prefixed literal or raw identifier (anything where
+/// the leading `r`/`b` must not lex as a plain identifier)?
+fn starts_prefixed_literal(cur: &Cursor<'_>) -> bool {
+    let mut i = 1;
+    if cur.peek() == Some('b') && cur.peek_at(1) == Some('r') {
+        i = 2;
+    }
+    loop {
+        match cur.peek_at(i) {
+            Some('#') => i += 1,
+            Some('"') => return true,
+            Some('\'') => return i == 1 && cur.peek() == Some('b'),
+            Some(ch) if i >= 2 && cur.peek() == Some('r') && is_ident_start(ch) => {
+                // `r#ident` raw identifier (only directly after `r#`).
+                return i == 2;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor<'_>, out: &mut LexOutput, span: Span) {
+    let raw_ident = cur.peek() == Some('r')
+        && cur.peek_at(1) == Some('#')
+        && cur.peek_at(2).is_some_and(is_ident_start);
+    if raw_ident {
+        cur.bump(); // r
+        cur.bump(); // #
+        let mut name = String::new();
+        while let Some(ch) = cur.peek() {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            name.push(ch);
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Ident(name),
+            span,
+        });
+        return;
+    }
+    if cur.peek() == Some('b') {
+        cur.bump();
+    }
+    if cur.peek() == Some('\'') {
+        // b'x' byte literal.
+        cur.bump();
+        if cur.peek() == Some('\\') {
+            cur.bump();
+            cur.bump();
+        } else {
+            cur.bump();
+        }
+        if cur.peek() == Some('\'') {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            span,
+        });
+        return;
+    }
+    let raw = cur.peek() == Some('r');
+    if raw {
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        loop {
+            match cur.bump() {
+                None => break,
+                Some('"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && cur.peek() == Some('#') {
+                        matched += 1;
+                        cur.bump();
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    } else {
+        lex_string(cur);
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Literal,
+        span,
+    });
+}
+
+/// Consumes a `"..."` string (cursor on the opening quote).
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a `'` that starts either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut LexOutput, span: Span) {
+    cur.bump(); // the quote
+    match (cur.peek(), cur.peek_at(1)) {
+        (Some('\\'), _) => {
+            // Escaped char literal: '\n', '\'', '\u{..}'.
+            cur.bump();
+            while let Some(ch) = cur.bump() {
+                if ch == '\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                span,
+            });
+        }
+        (Some(c0), Some('\'')) if c0 != '\'' => {
+            // 'x' — plain char literal.
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                span,
+            });
+        }
+        (Some(c0), _) if is_ident_start(c0) => {
+            // Lifetime or label: 'a, 'static, '_.
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                span,
+            });
+        }
+        _ => {
+            // Degenerate (`'(`...): treat the quote as punctuation.
+            out.tokens.push(Token {
+                kind: TokenKind::Punct('\''),
+                span,
+            });
+        }
+    }
+}
+
+/// Consumes a numeric literal (cursor on its first digit). Handles
+/// `0x1F`, `1_000u64`, `1.5e-3` — and stops before `..` so ranges like
+/// `1..=3` lex as literal-punct-punct.
+fn lex_number(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.peek() {
+        let continues = ch.is_ascii_alphanumeric()
+            || ch == '_'
+            // Decimal point, but not the `..` of a range like `1..=3`.
+            || (ch == '.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()))
+            // Exponent sign in `1e-3`.
+            || ((ch == '+' || ch == '-')
+                && matches!(
+                    cur.chars.get(cur.pos.wrapping_sub(1)),
+                    Some('e') | Some('E')
+                ));
+        if !continues {
+            break;
+        }
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in a block /* nested HashMap */ still */
+            let s = "HashMap in a string";
+            let r = r#"raw HashMap"# ;
+            let b = b"bytes HashMap";
+            use std::collections::BTreeMap;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "BTreeMap"));
+    }
+
+    #[test]
+    fn comment_text_is_retained_for_suppressions() {
+        let out = lex("let x = 1; // triad-lint: allow(panic-policy)\n");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("triad-lint"));
+        assert_eq!(out.comments[0].line, 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let ids = idents(r"let nl = '\n'; let q = '\''; let u = '\u{41}'; after");
+        assert!(ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let out = lex("for i in 1..=3 { } let f = 1.5e-3; let h = 0x5EC0_11D5;");
+        // `1..=3` must produce punct '.' '.' '=' between two literals.
+        let puncts: Vec<char> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(puncts.windows(2).any(|w| w == ['.', '.']), "{puncts:?}");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert!(idents("let r#match = 1;").contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let out = lex("a\n  b");
+        assert_eq!(out.tokens[0].span, Span { line: 1, col: 1 });
+        assert_eq!(out.tokens[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        lex("/* never closed");
+        lex("\"never closed");
+        lex("r#\"never closed");
+    }
+}

@@ -1,0 +1,119 @@
+//! In-tree static analysis for the Triad-NVM workspace.
+//!
+//! The workspace's zero-dependency policy rules out `syn`/`clippy`
+//! plumbing, so `triad-analyze` hand-rolls the whole stack: a Rust
+//! [`lexer`], a bracket-nesting token [`tree`], a small [`lint`]
+//! framework (stable rule IDs, severities, human + JSON output,
+//! `// triad-lint: allow(<rule>)` suppressions), and the repo-specific
+//! [`rules`] that mechanize the audits earlier PRs did by hand:
+//!
+//! | rule | checks |
+//! |---|---|
+//! | `determinism/hash-order` | no default-hasher maps in sim/core/mem/meta |
+//! | `determinism/wall-clock` | no `Instant`/`SystemTime` outside `crates/bench` |
+//! | `panic-policy` | no `unwrap`/`expect`/`panic!` in core/mem/meta non-test code |
+//! | `persist-order` | every public engine op drains the eviction queue on Ok paths |
+//! | `stats-registration` | every declared stat counter is reported |
+//!
+//! The `triad-lint` binary drives [`analyze_repo`] from CI; tests and
+//! fixtures drive [`analyze_source`] with virtual paths.
+
+pub mod lexer;
+pub mod lint;
+pub mod rules;
+pub mod tree;
+
+pub use lint::{FileAnalysis, Finding, Rule, Severity};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints one source text as if it lived at the workspace-relative
+/// `path` (which is what the rules scope on).
+pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
+    let file = FileAnalysis::new(path, source);
+    let rules = rules::all();
+    let mut out = Vec::new();
+    lint::run_rules(&file, &rules, &mut out);
+    out
+}
+
+/// The result of linting a whole workspace.
+#[derive(Debug)]
+pub struct RepoReport {
+    /// All findings, sorted by path, line, column, rule.
+    pub findings: Vec<Finding>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every `.rs` file under `root`'s `src/`, `crates/`, `tests/`
+/// and `examples/` trees, skipping `target/` and anything under a
+/// `fixtures/` directory (fixtures *contain* deliberate findings).
+pub fn analyze_repo(root: &Path) -> io::Result<RepoReport> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    files.sort();
+    let rules = rules::all();
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(path)?;
+        let file = FileAnalysis::new(&rel, &source);
+        lint::run_rules(&file, &rules, &mut findings);
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(RepoReport {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "use std::collections::BTreeMap;\npub fn f() -> BTreeMap<u64, u64> { BTreeMap::new() }\n";
+        assert!(analyze_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_rule_ids_and_spans() {
+        let src = "use std::collections::HashMap;\n";
+        let f = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "determinism/hash-order");
+        assert_eq!((f[0].line, f[0].col), (1, 23));
+    }
+}

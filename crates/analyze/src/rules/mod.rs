@@ -1,0 +1,48 @@
+//! The repo-specific rules. Each module is one rule; [`all`] is the
+//! registry the CLI and the tests run.
+
+mod hash_order;
+mod panic_policy;
+mod persist_order;
+mod stats_registration;
+mod wall_clock;
+
+pub use hash_order::HashOrder;
+pub use panic_policy::PanicPolicy;
+pub use persist_order::PersistOrder;
+pub use stats_registration::StatsRegistration;
+pub use wall_clock::WallClock;
+
+use crate::lint::Rule;
+use crate::tree::Tok;
+
+/// Every rule, in the order findings are attributed when several hit
+/// the same span.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(HashOrder),
+        Box::new(WallClock),
+        Box::new(PanicPolicy),
+        Box::new(PersistOrder),
+        Box::new(StatsRegistration),
+    ]
+}
+
+/// Depth-first visit of every token, handing each slice + index so
+/// rules can look at neighbours (`.` before, `(...)` after).
+pub(crate) fn walk_slices<'a>(toks: &'a [Tok], f: &mut impl FnMut(&'a [Tok], usize)) {
+    for (i, t) in toks.iter().enumerate() {
+        f(toks, i);
+        if let Tok::Group { tokens, .. } = t {
+            walk_slices(tokens, f);
+        }
+    }
+}
+
+/// Whether any identifier in the subtree satisfies `pred`.
+pub(crate) fn any_ident(toks: &[Tok], pred: &impl Fn(&str) -> bool) -> bool {
+    toks.iter().any(|t| match t {
+        Tok::Group { tokens, .. } => any_ident(tokens, pred),
+        leaf => leaf.ident().is_some_and(pred),
+    })
+}

@@ -1,0 +1,250 @@
+//! `persist-order`: the mechanized form of PR 1's manual audit. Every
+//! public `&mut self` engine operation that feeds the metadata eviction
+//! queue (counter / MAC / BMT write-backs scheduled by the `*_touch`
+//! and `ensure_*` helpers) must drain that queue before succeeding —
+//! otherwise a crash after the `Ok` return loses queued persists and
+//! the recovered BMT disagrees with data NVM, the exact TriadNVM-2
+//! regression PR 1 fixed.
+//!
+//! The check is structural, over the token tree of
+//! `crates/core/src/engine.rs`: walking a function body, a call to a
+//! queue-feeding helper sets a `pending` bit and `drain_evictions`
+//! clears it. Brace groups are conditional — the walker clones the bit
+//! into them and ORs it back out, so a drain *inside* an `if` never
+//! clears the parent path while a touch inside one taints it. A
+//! `return Ok` site or the function's tail `Ok(...)` while `pending`
+//! is set is a finding. Error paths (`?`, `return Err`) are exempt:
+//! failed operations make no persistence promise.
+
+use crate::lexer::Span;
+use crate::lint::{FileAnalysis, Finding, Rule, Severity};
+use crate::rules::any_ident;
+use crate::tree::{impl_blocks, Tok};
+
+/// See module docs.
+pub struct PersistOrder;
+
+/// Helpers that enqueue metadata (or data) write-backs on the engine's
+/// eviction queue.
+const QUEUE_CALLS: &[&str] = &[
+    "l3_touch",
+    "ctr_touch",
+    "mt_touch",
+    "writeback_data",
+    "reclaim",
+    "ensure_counter",
+    "ensure_node",
+    "ensure_mac_block",
+];
+
+/// The calls that retire the queue.
+const DRAINS: &[&str] = &["drain_evictions"];
+
+/// The type whose public surface the audit covers.
+const ENGINE_TYPE: &str = "SecureMemory";
+
+impl Rule for PersistOrder {
+    fn id(&self) -> &'static str {
+        "persist-order"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "public engine ops that feed the eviction queue must drain it on every Ok path"
+    }
+
+    fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
+        if !file.path.ends_with("crates/core/src/engine.rs") {
+            return;
+        }
+        for ib in impl_blocks(&file.toks) {
+            if ib.target != ENGINE_TYPE || ib.trait_name.is_some() {
+                continue;
+            }
+            for f in pub_mut_self_fns(ib.body) {
+                if !any_ident(f.body, &|n| QUEUE_CALLS.contains(&n)) {
+                    // Delegating wrappers (`read`, `write`, ...) are
+                    // audited through their callee.
+                    continue;
+                }
+                let mut pending = false;
+                walk(f.body, &mut pending, true, &f.name, self, file, out);
+            }
+        }
+    }
+}
+
+/// A `pub fn name(&mut self, ...) { body }` item.
+struct PubFn<'a> {
+    name: String,
+    body: &'a [Tok],
+}
+
+fn pub_mut_self_fns(body: &[Tok]) -> Vec<PubFn<'_>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if !body[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let is_pub = {
+            // Walk back over qualifiers (`pub(crate) const unsafe fn`).
+            let mut j = i;
+            let mut found = false;
+            while j > 0 {
+                j -= 1;
+                match &body[j] {
+                    t if t.is_ident("pub") => {
+                        found = true;
+                        break;
+                    }
+                    t if t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async") => {}
+                    t if t.is_group('(') => {}
+                    _ => break,
+                }
+            }
+            found
+        };
+        let name = body
+            .get(i + 1)
+            .and_then(|t| t.ident())
+            .unwrap_or("")
+            .to_string();
+        // Find the parameter list and body, skipping generics; inside
+        // `<...>` the angle depth is positive, so `Fn(..)` bounds never
+        // masquerade as the parameter list.
+        let mut angle = 0i32;
+        let mut params: Option<&[Tok]> = None;
+        let mut fn_body: Option<&[Tok]> = None;
+        let mut j = i + 2;
+        while j < body.len() {
+            match &body[j] {
+                t if t.is_punct('<') => angle += 1,
+                t if t.is_punct('>') => angle -= 1,
+                Tok::Group {
+                    delim: '(', tokens, ..
+                } if params.is_none() && angle <= 0 => params = Some(tokens),
+                Tok::Group {
+                    delim: '{', tokens, ..
+                } => {
+                    fn_body = Some(tokens);
+                    break;
+                }
+                t if t.is_punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (true, Some(params), Some(fn_body)) = (is_pub, params, fn_body) {
+            if takes_mut_self(params) {
+                out.push(PubFn {
+                    name,
+                    body: fn_body,
+                });
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Whether the first parameter is `&mut self` (lifetimes allowed).
+fn takes_mut_self(params: &[Tok]) -> bool {
+    let first: Vec<&Tok> = params.iter().take_while(|t| !t.is_punct(',')).collect();
+    first.iter().any(|t| t.is_punct('&'))
+        && first.iter().any(|t| t.is_ident("mut"))
+        && first.iter().any(|t| t.is_ident("self"))
+}
+
+/// Whether `toks[i]` is a call `name(...)` of one of `names`.
+fn is_call(toks: &[Tok], i: usize, names: &[&str]) -> bool {
+    toks[i].ident().is_some_and(|n| names.contains(&n))
+        && matches!(toks.get(i + 1), Some(g) if g.is_group('('))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    toks: &[Tok],
+    pending: &mut bool,
+    top: bool,
+    fn_name: &str,
+    rule: &PersistOrder,
+    file: &FileAnalysis,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < toks.len() {
+        if is_call(toks, i, QUEUE_CALLS) || is_call(toks, i, DRAINS) {
+            let enqueue = is_call(toks, i, QUEUE_CALLS);
+            if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
+                // Arguments evaluate before the call takes effect.
+                walk(tokens, pending, false, fn_name, rule, file, out);
+            }
+            *pending = enqueue;
+            i += 2;
+            continue;
+        }
+        match &toks[i] {
+            t if t.is_ident("return")
+                && *pending
+                && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
+            {
+                report(t.span(), fn_name, "returns Ok", rule, file, out);
+            }
+            Tok::Group {
+                delim: '{', tokens, ..
+            } => {
+                // A brace group is a conditional region: findings on
+                // returns inside use the state flowing in, and any
+                // enqueue inside taints the parent, but a drain inside
+                // cannot clear the parent (the branch may not run).
+                let mut inner = *pending;
+                walk(tokens, &mut inner, false, fn_name, rule, file, out);
+                *pending |= inner;
+            }
+            Tok::Group { tokens, .. } => {
+                walk(tokens, pending, false, fn_name, rule, file, out);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if top && *pending {
+        let n = toks.len();
+        if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
+            report(
+                toks[n - 2].span(),
+                fn_name,
+                "falls off the end with Ok",
+                rule,
+                file,
+                out,
+            );
+        }
+    }
+}
+
+fn report(
+    span: Span,
+    fn_name: &str,
+    how: &str,
+    rule: &PersistOrder,
+    file: &FileAnalysis,
+    out: &mut Vec<Finding>,
+) {
+    out.push(Finding {
+        rule: rule.id(),
+        severity: rule.severity(),
+        path: file.path.clone(),
+        line: span.line,
+        col: span.col,
+        message: format!(
+            "`{fn_name}` {how} while the eviction queue may hold undrained persists; \
+             call `drain_evictions` before succeeding"
+        ),
+    });
+}

@@ -1,0 +1,51 @@
+//! `determinism/wall-clock`: no `Instant`/`SystemTime` outside
+//! `crates/bench`. Simulated time is the only clock the model may
+//! observe; host time belongs exclusively to the benchmark harness.
+
+use crate::lint::{FileAnalysis, Finding, Rule, Severity};
+use crate::rules::walk_slices;
+
+/// See module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "determinism/wall-clock"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "Instant/SystemTime outside crates/bench couples model behaviour to host time"
+    }
+
+    fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
+        if file.in_any(&["crates/bench/"]) {
+            return;
+        }
+        walk_slices(&file.toks, &mut |toks, i| {
+            let Some(name) = toks[i].ident() else {
+                return;
+            };
+            if name != "Instant" && name != "SystemTime" {
+                return;
+            }
+            let span = toks[i].span();
+            if file.is_test_line(span.line) {
+                return;
+            }
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                path: file.path.clone(),
+                line: span.line,
+                col: span.col,
+                message: format!(
+                    "`{name}` reads the host clock; model code must use simulated cycles (only crates/bench may time the host)"
+                ),
+            });
+        });
+    }
+}

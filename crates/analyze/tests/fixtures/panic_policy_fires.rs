@@ -1,0 +1,15 @@
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn must(o: Option<u64>) -> u64 {
+    o.expect("present")
+}
+
+pub fn boom() {
+    panic!("no");
+}
+
+pub fn fine(o: Option<u64>) -> u64 {
+    o.unwrap_or(0)
+}

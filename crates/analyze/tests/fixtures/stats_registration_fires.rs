@@ -1,0 +1,10 @@
+pub struct DemoStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl StatSink for DemoStats {
+    fn report(&self, prefix: &str, out: &mut StatSet) {
+        out.add(prefix, "hits", self.hits);
+    }
+}

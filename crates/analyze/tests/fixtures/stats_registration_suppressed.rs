@@ -1,0 +1,11 @@
+pub struct DemoStats {
+    pub hits: u64,
+    // Reserved for the Osiris extension; reported once it is wired up.
+    pub misses: u64, // triad-lint: allow(stats-registration)
+}
+
+impl StatSink for DemoStats {
+    fn report(&self, prefix: &str, out: &mut StatSet) {
+        out.add(prefix, "hits", self.hits);
+    }
+}

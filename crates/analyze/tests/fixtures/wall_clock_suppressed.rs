@@ -1,0 +1,5 @@
+pub fn stamp() -> u128 {
+    // triad-lint: allow(determinism/wall-clock)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,162 @@
+//! Every rule is proven live by a fixture that fires it, and every
+//! rule's suppression syntax is proven by a fixture that silences it.
+//! Fixtures are linted under *virtual* workspace paths so the scoping
+//! logic is exercised too.
+
+use triad_analyze::analyze_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn rule_hits(virtual_path: &str, name: &str, rule: &str) -> Vec<(u32, u32)> {
+    analyze_source(virtual_path, &fixture(name))
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.line, f.col))
+        .collect()
+}
+
+#[test]
+fn hash_order_fires() {
+    let hits = rule_hits(
+        "crates/core/src/bad.rs",
+        "hash_order_fires.rs",
+        "determinism/hash-order",
+    );
+    // The use, the return type, and the constructor.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert_eq!(hits[0], (1, 23));
+}
+
+#[test]
+fn hash_order_respects_suppression() {
+    let f = analyze_source(
+        "crates/core/src/bad.rs",
+        &fixture("hash_order_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hash_order_is_scoped_to_sim_crates() {
+    // The same source is fine in the bench crate.
+    let f = analyze_source("crates/bench/src/x.rs", &fixture("hash_order_fires.rs"));
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wall_clock_fires() {
+    let hits = rule_hits(
+        "crates/sim/src/clock.rs",
+        "wall_clock_fires.rs",
+        "determinism/wall-clock",
+    );
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn wall_clock_respects_suppression() {
+    let f = analyze_source(
+        "crates/sim/src/clock.rs",
+        &fixture("wall_clock_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wall_clock_allows_bench() {
+    let f = analyze_source(
+        "crates/bench/src/timing.rs",
+        &fixture("wall_clock_fires.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_policy_fires() {
+    let hits = rule_hits(
+        "crates/core/src/bad.rs",
+        "panic_policy_fires.rs",
+        "panic-policy",
+    );
+    // unwrap, expect, panic! — and NOT unwrap_or.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert_eq!(hits[0].0, 2);
+    assert_eq!(hits[1].0, 6);
+    assert_eq!(hits[2].0, 10);
+}
+
+#[test]
+fn panic_policy_respects_suppression() {
+    let f = analyze_source(
+        "crates/core/src/bad.rs",
+        &fixture("panic_policy_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_policy_ignores_test_code_and_other_crates() {
+    let src = "#[cfg(test)]\nmod tests {\n  fn t() { None::<u64>.unwrap(); }\n}\n";
+    assert!(analyze_source("crates/core/src/x.rs", src).is_empty());
+    // Out-of-scope crate: the sim driver may unwrap.
+    let f = analyze_source(
+        "crates/sim/src/driver.rs",
+        &fixture("panic_policy_fires.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn persist_order_fires_on_conditional_drain_and_early_return() {
+    let hits = rule_hits(
+        "crates/core/src/engine.rs",
+        "persist_order_fires.rs",
+        "persist-order",
+    );
+    // store_block's tail Ok + persist_block's early return; end_epoch
+    // and the delegating read() stay clean.
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert_eq!(hits[0].0, 9, "store_block tail");
+    assert_eq!(hits[1].0, 16, "persist_block early return");
+}
+
+#[test]
+fn persist_order_respects_suppression() {
+    let f = analyze_source(
+        "crates/core/src/engine.rs",
+        &fixture("persist_order_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn persist_order_only_audits_the_engine() {
+    let f = analyze_source(
+        "crates/core/src/system.rs",
+        &fixture("persist_order_fires.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule != "persist-order"), "{f:?}");
+}
+
+#[test]
+fn stats_registration_fires() {
+    let hits = rule_hits(
+        "crates/sim/src/stats.rs",
+        "stats_registration_fires.rs",
+        "stats-registration",
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, 3, "misses is unreported");
+}
+
+#[test]
+fn stats_registration_respects_suppression() {
+    let f = analyze_source(
+        "crates/sim/src/stats.rs",
+        &fixture("stats_registration_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}

@@ -29,7 +29,7 @@
 //!   is staged in persistent registers (READY_BIT), copied into the
 //!   WPQ, and committed; a crash mid-copy is replayed at recovery.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use triad_cache::{Cache, Replacement};
 use triad_crypto::aes::Aes128;
@@ -127,6 +127,7 @@ impl SecureStats {
 impl StatSink for SecureStats {
     fn report(&self, prefix: &str, out: &mut StatSet) {
         out.set(format!("{prefix}loads"), self.loads);
+        out.set(format!("{prefix}l3_load_hits"), self.l3_load_hits);
         out.set(format!("{prefix}stores"), self.stores);
         out.set(format!("{prefix}persists"), self.persists);
         out.set(format!("{prefix}fresh_reads"), self.fresh_reads);
@@ -136,6 +137,9 @@ impl StatSink for SecureStats {
         );
         out.set(format!("{prefix}nvm_data_writes"), self.nvm_data_writes);
         out.set(format!("{prefix}nvm_data_reads"), self.nvm_data_reads);
+        out.set(format!("{prefix}counter_reads"), self.counter_reads);
+        out.set(format!("{prefix}mac_reads"), self.mac_reads);
+        out.set(format!("{prefix}node_reads"), self.node_reads);
         out.set(
             format!("{prefix}persist_metadata_writes"),
             self.persist_metadata_writes(),
@@ -371,21 +375,21 @@ pub struct SecureMemory {
     ctr_cache: Cache,
     mt_cache: Cache,
     /// Plaintext of data blocks resident in L3.
-    plain: HashMap<u64, Block>,
+    plain: BTreeMap<u64, Block>,
     /// Current values of counter blocks resident in the counter cache.
-    counters: HashMap<u64, AnyCounterBlock>,
+    counters: BTreeMap<u64, AnyCounterBlock>,
     /// Current values of BMT nodes resident in the MT cache.
-    nodes: HashMap<u64, NodeBuf>,
+    nodes: BTreeMap<u64, NodeBuf>,
     /// Current values of MAC blocks resident in the MT cache.
-    macs: HashMap<u64, NodeBuf>,
+    macs: BTreeMap<u64, NodeBuf>,
     regs: PersistentRegisters,
     state: EngineState,
     counter_persistence: CounterPersistence,
     /// Updates since the last forced counter persist (Osiris mode).
-    osiris_since: HashMap<u64, u8>,
+    osiris_since: BTreeMap<u64, u8>,
     /// Non-persistent data blocks written this boot session (fresh
     /// anonymous pages read as zeros, like an OS zero page).
-    np_written: HashSet<u64>,
+    np_written: BTreeSet<u64>,
     boot_count: u64,
     stats: SecureStats,
     clock: Time,
@@ -418,15 +422,15 @@ impl SecureMemory {
             l3: Cache::new("l3", config.l3, Replacement::Lru),
             ctr_cache: Cache::new("ctr", config.security.counter_cache, Replacement::Lru),
             mt_cache: Cache::new("mt", config.security.mt_cache, Replacement::Lru),
-            plain: HashMap::new(),
-            counters: HashMap::new(),
-            nodes: HashMap::new(),
-            macs: HashMap::new(),
+            plain: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+            macs: BTreeMap::new(),
             regs: PersistentRegisters::new(),
             state: EngineState::Running,
             counter_persistence,
-            osiris_since: HashMap::new(),
-            np_written: HashSet::new(),
+            osiris_since: BTreeMap::new(),
+            np_written: BTreeSet::new(),
             boot_count: 1,
             stats: SecureStats::default(),
             clock: Time::ZERO,
@@ -657,10 +661,11 @@ impl SecureMemory {
                     if !dirty {
                         continue;
                     }
-                    let kind = self
-                        .map
-                        .region_of(addr.base())
-                        .expect("counter block inside a region");
+                    let kind = self.map.region_of(addr.base()).ok_or_else(|| {
+                        SecureMemoryError::internal(format!(
+                            "queued counter block {addr} is outside every region"
+                        ))
+                    })?;
                     let leaf = self.layout(kind).leaf_index(addr);
                     let bytes = value.to_bytes();
                     self.mc.write(addr, bytes, now);
@@ -672,10 +677,11 @@ impl SecureMemory {
                     if !dirty {
                         continue;
                     }
-                    let kind = self
-                        .map
-                        .region_of(addr.base())
-                        .expect("node inside a region");
+                    let kind = self.map.region_of(addr.base()).ok_or_else(|| {
+                        SecureMemoryError::internal(format!(
+                            "queued BMT node {addr} is outside every region"
+                        ))
+                    })?;
                     let layout = self.layout(kind);
                     let BlockRole::BmtNode(level) = layout.role_of(addr) else {
                         unreachable!("queued node at {addr} is not a BMT node");
@@ -728,11 +734,14 @@ impl SecureMemory {
         let addr = self
             .layout(kind)
             .bmt_node_addr(p_level, p_index)
-            .expect("below root");
-        let entry = self
-            .nodes
-            .get_mut(&addr.0)
-            .expect("ensure_node leaves the node resident");
+            .ok_or_else(|| {
+                SecureMemoryError::internal(format!(
+                    "BMT parent ({p_level}, {p_index}) has no in-memory address"
+                ))
+            })?;
+        let entry = self.nodes.get_mut(&addr.0).ok_or_else(|| {
+            SecureMemoryError::internal(format!("ensure_node left no resident node at {addr}"))
+        })?;
         entry.set_slot(slot, hash);
         self.mt_touch(addr, true);
         Ok(())
@@ -756,7 +765,11 @@ impl SecureMemory {
         let addr = self
             .layout(kind)
             .bmt_node_addr(level, index)
-            .expect("node below root level");
+            .ok_or_else(|| {
+                SecureMemoryError::internal(format!(
+                    "BMT node ({level}, {index}) below root has no in-memory address"
+                ))
+            })?;
         if let Some(buf) = self.nodes.get(&addr.0) {
             let buf = *buf;
             let lat = self.mt_cache.latency();
@@ -798,17 +811,29 @@ impl SecureMemory {
         Ok((buf, done))
     }
 
-    fn put_node(&mut self, kind: RegionKind, level: u8, index: u64, buf: NodeBuf, dirty: bool) {
+    fn put_node(
+        &mut self,
+        kind: RegionKind,
+        level: u8,
+        index: u64,
+        buf: NodeBuf,
+        dirty: bool,
+    ) -> Result<()> {
         if level == self.layout(kind).geometry.root_level() {
             self.set_root(kind, buf);
-            return;
+            return Ok(());
         }
         let addr = self
             .layout(kind)
             .bmt_node_addr(level, index)
-            .expect("node below root level");
+            .ok_or_else(|| {
+                SecureMemoryError::internal(format!(
+                    "BMT node ({level}, {index}) below root has no in-memory address"
+                ))
+            })?;
         self.nodes.insert(addr.0, buf);
         self.mt_touch(addr, dirty);
+        Ok(())
     }
 
     /// Returns the current counter block for leaf `leaf`, fetching and
@@ -1156,7 +1181,7 @@ impl SecureMemory {
         let layout = self.layout(kind).clone();
         let coverage = layout.counter_coverage;
         let mut t = now;
-        let mut touched_macs = std::collections::BTreeSet::new();
+        let mut touched_macs = BTreeSet::new();
         for s in 0..coverage as usize {
             if s == written_slot {
                 continue;
@@ -1244,12 +1269,14 @@ impl SecureMemory {
             let (mut buf, tn) = self.ensure_node(kind, level, index, now)?;
             buf.set_slot(slot, h);
             let persist_this = level <= persist_levels;
-            self.put_node(kind, level, index, buf, !persist_this);
+            self.put_node(kind, level, index, buf, !persist_this)?;
             if persist_this {
-                staged.push(StagedWrite {
-                    addr: layout.bmt_node_addr(level, index).expect("below root"),
-                    data: buf.0,
-                });
+                let addr = layout.bmt_node_addr(level, index).ok_or_else(|| {
+                    SecureMemoryError::internal(format!(
+                        "persisted BMT node ({level}, {index}) has no in-memory address"
+                    ))
+                })?;
+                staged.push(StagedWrite { addr, data: buf.0 });
             }
             h = bmt::node_hash(
                 &self.mac_engine,
@@ -1444,7 +1471,7 @@ impl SecureMemory {
         self.stats.epochs += 1;
         // Deduplicate, keeping one flush per block (write combining —
         // the core of the epoch-persistency win).
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut t = now;
         for block in pending {
             if !seen.insert(block.0) {
@@ -1662,7 +1689,11 @@ impl SecureMemory {
             let l1_count = np_layout.geometry.nodes_at_level(1);
             if np_layout.geometry.root_level() > 1 {
                 for i in 0..l1_count {
-                    let addr = np_layout.bmt_node_addr(1, i).expect("L1 in memory or root");
+                    let addr = np_layout.bmt_node_addr(1, i).ok_or_else(|| {
+                        SecureMemoryError::internal(format!(
+                            "non-persistent BMT L1 node {i} has no in-memory address"
+                        ))
+                    })?;
                     self.mc.store_mut().write(addr, [0u8; BLOCK_BYTES]);
                 }
                 report.non_persistent_blocks_written = l1_count;

@@ -69,6 +69,22 @@ pub enum SecureMemoryError {
     },
     /// The configuration was rejected.
     Config(String),
+    /// An internal engine invariant was violated — a bug in the model,
+    /// not in the caller's use of it. Surfaced as an error rather than
+    /// a panic so a broken invariant cannot abort a simulation
+    /// mid-operation (the panic-policy lint enforces this).
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
+}
+
+impl SecureMemoryError {
+    /// Builds an [`SecureMemoryError::Internal`] from any displayable
+    /// description.
+    pub fn internal(what: impl Into<String>) -> Self {
+        SecureMemoryError::Internal { what: what.into() }
+    }
 }
 
 impl fmt::Display for SecureMemoryError {
@@ -93,6 +109,9 @@ impl fmt::Display for SecureMemoryError {
                 write!(f, "persist issued for non-persistent address {addr}")
             }
             SecureMemoryError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SecureMemoryError::Internal { what } => {
+                write!(f, "internal engine invariant violated: {what}")
+            }
         }
     }
 }

@@ -75,9 +75,11 @@ impl RecoveryModel {
     /// (index 0 = counter blocks), down to a single root.
     pub fn level_counts(&self, capacity_bytes: u64) -> Vec<u64> {
         let data_blocks = capacity_bytes / 64;
-        let mut counts = vec![data_blocks.div_ceil(64)];
-        while *counts.last().expect("non-empty") > 1 {
-            counts.push(counts.last().expect("non-empty").div_ceil(self.arity));
+        let mut level = data_blocks.div_ceil(64);
+        let mut counts = vec![level];
+        while level > 1 {
+            level = level.div_ceil(self.arity);
+            counts.push(level);
         }
         counts
     }
@@ -151,7 +153,13 @@ fn stored_level_hashes(
                     &store.read(layout.counter_start + i),
                 )
             } else {
-                let addr = layout.bmt_node_addr(level, i).expect("in-memory node");
+                // Every level below the root has stored addresses by
+                // construction; a miss is a geometry bug, not data
+                // corruption, so it hashes as all-zero (never matches).
+                let Some(addr) = layout.bmt_node_addr(level, i) else {
+                    debug_assert!(false, "level {level} node {i} has no stored address");
+                    return triad_crypto::Mac64::ZERO;
+                };
                 bmt::node_hash(
                     engine,
                     NodeId {
@@ -232,9 +240,14 @@ pub fn pinpoint(
     if persist_level >= 1 && root_level > 1 {
         // Compare each leaf hash against the strictly persisted L1 slot.
         for (i, h) in leaf_hashes.iter().enumerate() {
-            let addr = layout
-                .bmt_node_addr(1, i as u64 / geom.arity())
-                .expect("L1 in memory");
+            // `root_level > 1` guarantees L1 is stored; treat a missing
+            // address as disagreement rather than aborting pinpointing.
+            let Some(addr) = layout.bmt_node_addr(1, i as u64 / geom.arity()) else {
+                debug_assert!(false, "L1 node for leaf {i} has no stored address");
+                corrupt_nodes.push((0, i as u64));
+                unverifiable.push(range_of_leaves(layout, i as u64, 1));
+                continue;
+            };
             let parent = NodeBuf(store.read(addr));
             if parent.slot(geom.child_slot(i as u64)) != *h {
                 corrupt_nodes.push((0, i as u64));

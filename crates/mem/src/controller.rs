@@ -46,7 +46,7 @@ pub struct MemStats {
 /// motivations for relaxed persistence).
 #[derive(Debug, Clone, Default)]
 pub struct WearTracker {
-    writes: std::collections::HashMap<u64, u64>,
+    writes: std::collections::BTreeMap<u64, u64>,
 }
 
 impl WearTracker {
@@ -228,12 +228,9 @@ impl MemoryController {
         let mut accept = now;
         if self.wpq.len() >= self.config.wpq_entries {
             self.stats.wpq_full_events += 1;
-            let earliest = self
-                .wpq
-                .iter()
-                .map(|(done, _)| *done)
-                .min()
-                .expect("full queue is non-empty");
+            // A full queue is non-empty, so `min` exists; falling back
+            // to `now` just means no stall if that ever breaks.
+            let earliest = self.wpq.iter().map(|(done, _)| *done).min().unwrap_or(now);
             accept = accept.max(earliest);
             self.stats.wpq_stall += accept.since(now);
             self.drain_completed(accept);

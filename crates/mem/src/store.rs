@@ -7,7 +7,7 @@
 //! threat model of §3.1 (an attacker who can read and modify NVM
 //! contents between and during boot episodes).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use triad_sim::{BlockAddr, BLOCK_BYTES};
 
 /// One 64-byte memory block.
@@ -16,7 +16,7 @@ pub type Block = [u8; BLOCK_BYTES];
 /// A sparse, functional NVM image.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseStore {
-    blocks: HashMap<u64, Block>,
+    blocks: BTreeMap<u64, Block>,
 }
 
 impl SparseStore {
@@ -64,7 +64,8 @@ impl SparseStore {
         self.write(addr, old);
     }
 
-    /// Iterates over resident (non-zero) blocks in unspecified order.
+    /// Iterates over resident (non-zero) blocks in ascending address
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &Block)> {
         self.blocks.iter().map(|(a, b)| (BlockAddr(*a), b))
     }
@@ -131,12 +132,11 @@ mod tests {
     }
 
     #[test]
-    fn iter_visits_resident_blocks() {
+    fn iter_visits_resident_blocks_in_address_order() {
         let mut s = SparseStore::new();
-        s.write(BlockAddr(1), [1; 64]);
         s.write(BlockAddr(2), [2; 64]);
-        let mut addrs: Vec<u64> = s.iter().map(|(a, _)| a.0).collect();
-        addrs.sort_unstable();
+        s.write(BlockAddr(1), [1; 64]);
+        let addrs: Vec<u64> = s.iter().map(|(a, _)| a.0).collect();
         assert_eq!(addrs, [1, 2]);
     }
 }

@@ -16,6 +16,11 @@
 //!   crash injection and recovery (the paper's contribution).
 //! * [`workloads`] — SPEC-like / PMDK-like / DAX workload generators.
 //!
+//! Two workspace crates are deliberately *not* re-exported:
+//! `triad-bench` (the figure/benchmark binaries) and `triad-analyze`
+//! (the in-tree `triad-lint` static-analysis pass that CI runs over
+//! this source tree — see `docs/static-analysis.md`).
+//!
 //! ## Quick example
 //!
 //! ```rust
