@@ -1,9 +1,10 @@
 //! `stats-registration`: every declared stat counter is reported. For
-//! each struct that implements `StatSink` in the same file, every named
-//! field must be referenced somewhere in an `impl` block targeting that
-//! struct — a counter the engine increments but `report` never emits is
-//! a silently dead measurement, and figures built on the stat set
-//! quietly lose a column.
+//! each struct that implements a stat-reporting trait (`StatSink`, or
+//! the registry-era `StatRegister`) in the same file, every named field
+//! must be referenced somewhere in an `impl` block targeting that
+//! struct — a counter or histogram the engine updates but
+//! `report`/`register` never emits is a silently dead measurement, and
+//! figures built on the stat set quietly lose a column.
 
 use std::collections::BTreeSet;
 
@@ -22,8 +23,10 @@ const SCOPES: &[&str] = &[
     "crates/meta/",
 ];
 
-/// The reporting trait a stats struct hangs its counters on.
-const SINK_TRAIT: &str = "StatSink";
+/// The reporting traits a stats struct hangs its counters on: the
+/// legacy flat `StatSink` and the hierarchical `StatRegister` (which
+/// also carries `Histogram` fields).
+const SINK_TRAITS: &[&str] = &["StatSink", "StatRegister"];
 
 impl Rule for StatsRegistration {
     fn id(&self) -> &'static str {
@@ -35,7 +38,7 @@ impl Rule for StatsRegistration {
     }
 
     fn description(&self) -> &'static str {
-        "every field of a StatSink-implementing stats struct must be referenced by its impls"
+        "every field of a StatSink/StatRegister-implementing stats struct must be referenced by its impls"
     }
 
     fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
@@ -44,9 +47,13 @@ impl Rule for StatsRegistration {
         }
         let impls = impl_blocks(&file.toks);
         for def in struct_defs(&file.toks) {
-            let is_sink = impls
-                .iter()
-                .any(|ib| ib.target == def.name && ib.trait_name.as_deref() == Some(SINK_TRAIT));
+            let is_sink = impls.iter().any(|ib| {
+                ib.target == def.name
+                    && ib
+                        .trait_name
+                        .as_deref()
+                        .is_some_and(|t| SINK_TRAITS.contains(&t))
+            });
             if !is_sink {
                 continue;
             }

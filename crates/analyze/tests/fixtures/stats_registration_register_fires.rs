@@ -1,0 +1,10 @@
+pub struct DemoHists {
+    pub op_latency_ns: Histogram,
+    pub wpq_occupancy: Histogram,
+}
+
+impl StatRegister for DemoHists {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.histogram("op_latency_ns", &self.op_latency_ns);
+    }
+}

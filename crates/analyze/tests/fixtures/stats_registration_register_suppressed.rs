@@ -1,0 +1,11 @@
+pub struct DemoHists {
+    pub op_latency_ns: Histogram,
+    // Populated by the Osiris experiment; registered once it lands.
+    pub wpq_occupancy: Histogram, // triad-lint: allow(stats-registration)
+}
+
+impl StatRegister for DemoHists {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.histogram("op_latency_ns", &self.op_latency_ns);
+    }
+}

@@ -160,3 +160,25 @@ fn stats_registration_respects_suppression() {
     );
     assert!(f.is_empty(), "{f:?}");
 }
+
+#[test]
+fn stats_registration_fires_on_unregistered_histograms() {
+    // The registry-era trait: a `Histogram` field that `register` never
+    // hands to the scope is just as dead as an unreported counter.
+    let hits = rule_hits(
+        "crates/mem/src/controller.rs",
+        "stats_registration_register_fires.rs",
+        "stats-registration",
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, 3, "wpq_occupancy is unregistered");
+}
+
+#[test]
+fn stats_registration_register_respects_suppression() {
+    let f = analyze_source(
+        "crates/mem/src/controller.rs",
+        &fixture("stats_registration_register_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}

@@ -1,0 +1,240 @@
+//! `triad-report`: the fixed experiment matrix the perf trajectory
+//! regresses against.
+//!
+//! Replays the persistent workload mixes of §4 over every persistence
+//! scheme (write-back baseline, TriadNVM-1/2/3, Strict) on
+//! `SplitMix64`-seeded traces, then crashes and functionally recovers
+//! each cell. Emits `BENCH_pr3.json` (deterministic: running twice
+//! with the same seed is byte-identical) plus a human-readable table.
+//!
+//! Usage:
+//!   cargo run -p triad-bench --release --bin triad-report
+//!   cargo run -p triad-bench --release --bin triad-report -- --smoke
+//!   ... -- --ops 2000 --out /tmp/report.json --seed 7
+//!
+//! `--smoke` shrinks the matrix (two workloads, fewer ops) for CI.
+
+use std::fmt::Write as _;
+
+use triad_core::{PersistScheme, SecureMemoryBuilder, System};
+use triad_sim::config::SystemConfig;
+use triad_sim::stats::Histogram;
+use triad_workloads::{build_workload, WorkloadEnv};
+
+/// One (workload, scheme) cell of the matrix.
+struct Cell {
+    workload: &'static str,
+    scheme: PersistScheme,
+    ops: u64,
+    throughput: f64,
+    latency: Histogram,
+    nvm_writes: u64,
+    persist_metadata_writes: u64,
+    evict_metadata_writes: u64,
+    wpq_full_events: u64,
+    recovered: bool,
+    recovery_blocks_read: u64,
+    recovery_ns: u64,
+}
+
+/// The report runs on a small machine (tiny caches, 16 MiB NVM) so the
+/// full matrix — including *functional* crash recovery of every cell —
+/// finishes in seconds while still spilling past every cache level.
+/// Four cores so the MIX workloads get one lane each; 16 MiB (vs the
+/// test config's 4 MiB) keeps the BMT tall enough that TriadNVM-3 and
+/// Strict persist different level counts.
+fn report_config() -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.cores = 4;
+    cfg.mem.capacity_bytes = 16 << 20;
+    cfg
+}
+
+fn schemes() -> Vec<PersistScheme> {
+    vec![
+        PersistScheme::WriteBack,
+        PersistScheme::triad_nvm(1),
+        PersistScheme::triad_nvm(2),
+        PersistScheme::triad_nvm(3),
+        PersistScheme::Strict,
+    ]
+}
+
+fn run_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) -> Cell {
+    let mem = SecureMemoryBuilder::new()
+        .config(report_config())
+        .scheme(scheme)
+        .key_seed(seed)
+        .build()
+        .expect("report config is valid");
+    let env = WorkloadEnv::of(&mem);
+    let traces = build_workload(workload, &env, seed);
+    let mut system = System::new(mem, traces);
+    let result = system.run(ops).expect("clean run");
+    let latency = result
+        .registry
+        .histogram("core.latency_ns")
+        .cloned()
+        .unwrap_or_default();
+
+    // Crash the machine mid-flight and recover it: the recovery columns
+    // are the Figure 10 story, measured functionally rather than from
+    // the analytic model.
+    let mut mem = system.into_secure();
+    mem.crash();
+    let report = mem.recover().expect("recovery succeeds on a clean crash");
+
+    Cell {
+        workload,
+        scheme,
+        ops: result.cores.iter().map(|c| c.ops).sum(),
+        throughput: result.throughput(),
+        latency,
+        nvm_writes: result.nvm_writes,
+        persist_metadata_writes: result.stats.get("secure.persist_metadata_writes"),
+        evict_metadata_writes: result.stats.get("secure.evict_metadata_writes"),
+        wpq_full_events: result.stats.get("mem.wpq_full_events"),
+        recovered: report.persistent_recovered,
+        recovery_blocks_read: report.persistent_blocks_read + report.non_persistent_blocks_read,
+        recovery_ns: report.estimated_duration.as_ns(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rolled, key-order-fixed JSON: determinism is the whole point.
+fn render_json(cells: &[Cell], ops: u64, seed: u64, smoke: bool) -> String {
+    let cfg = report_config();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"report\": \"triad-report\",");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"ops_per_core\": {ops},");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"capacity_bytes\": {}, \"cores\": {}, \"wpq_entries\": {} }},",
+        cfg.mem.capacity_bytes, cfg.cores, cfg.mem.wpq_entries
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let h = &c.latency;
+        let _ = write!(
+            out,
+            "    {{ \"workload\": \"{}\", \"scheme\": \"{}\", \"ops\": {}, \
+             \"throughput_ips\": {:.3}, \
+             \"latency_ns\": {{ \"count\": {}, \"mean\": {:.3}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {} }}, \
+             \"nvm_writes\": {}, \"persist_metadata_writes\": {}, \
+             \"evict_metadata_writes\": {}, \"wpq_full_events\": {}, \
+             \"recovery\": {{ \"recovered\": {}, \"blocks_read\": {}, \"time_ns\": {} }} }}",
+            json_escape(c.workload),
+            json_escape(&c.scheme.to_string()),
+            c.ops,
+            c.throughput,
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            c.nvm_writes,
+            c.persist_metadata_writes,
+            c.evict_metadata_writes,
+            c.wpq_full_events,
+            c.recovered,
+            c.recovery_blocks_read,
+            c.recovery_ns,
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn print_table(cells: &[Cell]) {
+    println!(
+        "{:<10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>10} {:>12}",
+        "workload", "scheme", "p50 ns", "p95 ns", "p99 ns", "nvm wr", "meta wr", "recovery"
+    );
+    println!("{}", "-".repeat(86));
+    let mut last = "";
+    for c in cells {
+        if c.workload != last && !last.is_empty() {
+            println!();
+        }
+        last = c.workload;
+        println!(
+            "{:<10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10.1}us",
+            c.workload,
+            c.scheme.to_string(),
+            c.latency.p50(),
+            c.latency.p95(),
+            c.latency.p99(),
+            c.nvm_writes,
+            c.persist_metadata_writes + c.evict_metadata_writes,
+            c.recovery_ns as f64 / 1e3,
+        );
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut ops: Option<u64> = None;
+    let mut out_path = String::from("BENCH_pr3.json");
+    let mut seed: u64 = 42;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--ops" => {
+                let v = args.next().expect("--ops needs a value");
+                ops = Some(v.parse().expect("--ops needs an integer"));
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                seed = v.parse().expect("--seed needs an integer");
+            }
+            other => {
+                eprintln!("unknown flag {other:?}; flags: --smoke --ops N --out PATH --seed N");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The fixed matrix: the PMDK persistent structures plus the four
+    // MIX workloads, i.e. every trace with a persistent-store component
+    // (pure SPEC lanes exercise no persists and tell the schemes apart
+    // far less).
+    let workloads: &[&'static str] = if smoke {
+        &["hashtable", "mix1"]
+    } else {
+        &[
+            "hashtable",
+            "queue",
+            "arrayswap",
+            "mix1",
+            "mix2",
+            "mix3",
+            "mix4",
+        ]
+    };
+    let ops = ops.unwrap_or(if smoke { 800 } else { 4000 });
+
+    let mut cells = Vec::new();
+    for w in workloads {
+        for s in schemes() {
+            cells.push(run_cell(w, s, ops, seed));
+        }
+    }
+
+    print_table(&cells);
+    let json = render_json(&cells, ops, seed, smoke);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("\nwrote {out_path} ({} cells)", cells.len());
+}

@@ -28,7 +28,7 @@
 
 use triad_sim::config::CacheConfig;
 use triad_sim::rng::SplitMix64;
-use triad_sim::stats::{StatSet, StatSink};
+use triad_sim::stats::{Scope, StatRegister};
 use triad_sim::time::Duration;
 use triad_sim::BlockAddr;
 
@@ -314,16 +314,16 @@ impl Cache {
     }
 }
 
-impl StatSink for Cache {
-    fn report(&self, prefix: &str, out: &mut StatSet) {
+impl StatRegister for Cache {
+    fn register(&self, scope: &mut Scope<'_>) {
         let s = &self.stats;
-        out.set(format!("{prefix}read_hits"), s.read_hits);
-        out.set(format!("{prefix}read_misses"), s.read_misses);
-        out.set(format!("{prefix}write_hits"), s.write_hits);
-        out.set(format!("{prefix}write_misses"), s.write_misses);
-        out.set(format!("{prefix}evictions"), s.evictions);
-        out.set(format!("{prefix}dirty_evictions"), s.dirty_evictions);
-        out.set(format!("{prefix}flushes"), s.flushes);
+        scope.set("read_hits", s.read_hits);
+        scope.set("read_misses", s.read_misses);
+        scope.set("write_hits", s.write_hits);
+        scope.set("write_misses", s.write_misses);
+        scope.set("evictions", s.evictions);
+        scope.set("dirty_evictions", s.dirty_evictions);
+        scope.set("flushes", s.flushes);
     }
 }
 
@@ -445,12 +445,13 @@ mod tests {
     }
 
     #[test]
-    fn stat_sink_reports_prefixed() {
+    fn stat_register_reports_scoped() {
         let mut c = tiny(2);
         c.access(BlockAddr(0), false);
-        let mut out = StatSet::new();
-        c.report("l1.", &mut out);
-        assert_eq!(out.get("l1.read_misses"), 1);
+        let mut reg = triad_sim::stats::StatRegistry::new();
+        c.register(&mut reg.scope("l1"));
+        assert_eq!(reg.counter("l1.read_misses"), 1);
+        assert_eq!(reg.to_stat_set().get("l1.read_misses"), 1);
     }
 
     #[test]

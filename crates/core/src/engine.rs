@@ -41,7 +41,8 @@ use triad_mem::store::{Block, SparseStore};
 use triad_meta::bmt::{self, NodeBuf, NodeId};
 use triad_meta::layout::{BlockRole, MemoryMap, RegionKind, RegionLayout};
 use triad_sim::config::SystemConfig;
-use triad_sim::stats::{StatSet, StatSink};
+use triad_sim::events::{emit, SharedEventSink};
+use triad_sim::stats::{Histogram, Scope, StatRegister, StatRegistry, StatSet};
 use triad_sim::time::{Duration, Time};
 use triad_sim::{BlockAddr, PhysAddr, BLOCK_BYTES};
 
@@ -124,41 +125,57 @@ impl SecureStats {
     }
 }
 
-impl StatSink for SecureStats {
-    fn report(&self, prefix: &str, out: &mut StatSet) {
-        out.set(format!("{prefix}loads"), self.loads);
-        out.set(format!("{prefix}l3_load_hits"), self.l3_load_hits);
-        out.set(format!("{prefix}stores"), self.stores);
-        out.set(format!("{prefix}persists"), self.persists);
-        out.set(format!("{prefix}fresh_reads"), self.fresh_reads);
-        out.set(
-            format!("{prefix}lazy_counter_inits"),
-            self.lazy_counter_inits,
-        );
-        out.set(format!("{prefix}nvm_data_writes"), self.nvm_data_writes);
-        out.set(format!("{prefix}nvm_data_reads"), self.nvm_data_reads);
-        out.set(format!("{prefix}counter_reads"), self.counter_reads);
-        out.set(format!("{prefix}mac_reads"), self.mac_reads);
-        out.set(format!("{prefix}node_reads"), self.node_reads);
-        out.set(
-            format!("{prefix}persist_metadata_writes"),
-            self.persist_metadata_writes(),
-        );
-        out.set(
-            format!("{prefix}evict_metadata_writes"),
-            self.evict_metadata_writes(),
-        );
-        out.set(
-            format!("{prefix}page_reencryptions"),
-            self.page_reencryptions,
-        );
-        out.set(format!("{prefix}atomic_persists"), self.atomic_persists);
-        out.set(format!("{prefix}epochs"), self.epochs);
-        out.set(
-            format!("{prefix}osiris_counter_skips"),
-            self.osiris_counter_skips,
-        );
-        out.set(format!("{prefix}osiris_recoveries"), self.osiris_recoveries);
+impl StatRegister for SecureStats {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.set("loads", self.loads);
+        scope.set("l3_load_hits", self.l3_load_hits);
+        scope.set("stores", self.stores);
+        scope.set("persists", self.persists);
+        scope.set("fresh_reads", self.fresh_reads);
+        scope.set("lazy_counter_inits", self.lazy_counter_inits);
+        scope.set("nvm_data_writes", self.nvm_data_writes);
+        scope.set("nvm_data_reads", self.nvm_data_reads);
+        scope.set("counter_reads", self.counter_reads);
+        scope.set("mac_reads", self.mac_reads);
+        scope.set("node_reads", self.node_reads);
+        scope.set("persist_metadata_writes", self.persist_metadata_writes());
+        scope.set("evict_metadata_writes", self.evict_metadata_writes());
+        scope.set("page_reencryptions", self.page_reencryptions);
+        scope.set("atomic_persists", self.atomic_persists);
+        scope.set("epochs", self.epochs);
+        scope.set("osiris_counter_skips", self.osiris_counter_skips);
+        scope.set("osiris_recoveries", self.osiris_recoveries);
+    }
+}
+
+/// Latency and depth distributions of the secure engine, attributing
+/// per-op end-to-end time to its metadata components (BMT node,
+/// counter and MAC fetches) — the overhead breakdown behind the
+/// paper's Figure 8 gap between schemes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SecureHists {
+    /// End-to-end latency of `load_block`/`store_block` (ns).
+    pub op_latency_ns: Histogram,
+    /// End-to-end latency of `persist_block`/`flush_block` (ns).
+    pub persist_latency_ns: Histogram,
+    /// NVM-fetch latency of counter blocks, including verification (ns).
+    pub counter_fetch_ns: Histogram,
+    /// NVM-fetch latency of MAC blocks (ns).
+    pub mac_fetch_ns: Histogram,
+    /// NVM-fetch latency of BMT nodes, including verification (ns).
+    pub node_fetch_ns: Histogram,
+    /// Eviction-queue depth sampled at each drain.
+    pub evict_queue_depth: Histogram,
+}
+
+impl StatRegister for SecureHists {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.histogram("op_latency_ns", &self.op_latency_ns);
+        scope.histogram("persist_latency_ns", &self.persist_latency_ns);
+        scope.histogram("counter_fetch_ns", &self.counter_fetch_ns);
+        scope.histogram("mac_fetch_ns", &self.mac_fetch_ns);
+        scope.histogram("node_fetch_ns", &self.node_fetch_ns);
+        scope.histogram("evict_queue_depth", &self.evict_queue_depth);
     }
 }
 
@@ -392,6 +409,9 @@ pub struct SecureMemory {
     np_written: BTreeSet<u64>,
     boot_count: u64,
     stats: SecureStats,
+    hists: SecureHists,
+    /// Structured event tracing; `None` (the default) costs nothing.
+    events: Option<SharedEventSink>,
     clock: Time,
     /// Victims awaiting their downstream write-back (see [`EvictItem`]).
     evict_queue: Vec<EvictItem>,
@@ -433,6 +453,8 @@ impl SecureMemory {
             np_written: BTreeSet::new(),
             boot_count: 1,
             stats: SecureStats::default(),
+            hists: SecureHists::default(),
+            events: None,
             clock: Time::ZERO,
             evict_queue: Vec::new(),
             epoch: None,
@@ -483,6 +505,19 @@ impl SecureMemory {
     /// Engine statistics.
     pub fn stats(&self) -> SecureStats {
         self.stats
+    }
+
+    /// Engine latency distributions.
+    pub fn histograms(&self) -> &SecureHists {
+        &self.hists
+    }
+
+    /// Routes structured events (WPQ lifecycle, metadata evictions,
+    /// crash and recovery phases) from the engine and its memory
+    /// controller into `sink`. Tracing is off until this is called.
+    pub fn set_event_sink(&mut self, sink: SharedEventSink) {
+        self.mc.set_event_sink(sink.clone());
+        self.events = Some(sink);
     }
 
     /// Memory-controller statistics (NVM traffic, WPQ behaviour).
@@ -650,7 +685,27 @@ impl SecureMemory {
     /// discipline). Handlers may queue further victims; the loop runs
     /// until quiescence.
     fn drain_evictions(&mut self, now: Time) -> Result<()> {
+        self.hists
+            .evict_queue_depth
+            .record(self.evict_queue.len() as u64);
         while let Some(item) = self.evict_queue.pop() {
+            if self.events.is_some() {
+                let kind = match &item {
+                    EvictItem::Data { dirty, .. } if *dirty => Some("data"),
+                    EvictItem::Counter { dirty, .. } if *dirty => Some("counter"),
+                    EvictItem::Node { dirty, .. } if *dirty => Some("node"),
+                    EvictItem::Mac { dirty, .. } if *dirty => Some("mac"),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    emit(
+                        &self.events,
+                        now,
+                        "meta_evict",
+                        &[("kind", kind.into()), ("addr", item.addr().0.into())],
+                    );
+                }
+            }
             match item {
                 EvictItem::Data { addr, plain, dirty } => {
                     if dirty {
@@ -808,6 +863,7 @@ impl SecureMemory {
         self.nodes.insert(addr.0, buf);
         self.mt_touch(addr, false);
         let done = t.max(tp) + self.config.security.hash_latency;
+        self.hists.node_fetch_ns.record(done.since(now).as_ns());
         Ok((buf, done))
     }
 
@@ -888,6 +944,7 @@ impl SecureMemory {
         self.counters.insert(addr.0, cb);
         self.ctr_touch(addr, false);
         let done = t.max(tp) + self.config.security.hash_latency;
+        self.hists.counter_fetch_ns.record(done.since(now).as_ns());
         Ok((cb, done))
     }
 
@@ -985,6 +1042,7 @@ impl SecureMemory {
         let buf = NodeBuf(bytes);
         self.macs.insert(addr.0, buf);
         self.mt_touch(addr, false);
+        self.hists.mac_fetch_ns.record(t.since(now).as_ns());
         Ok((buf, t))
     }
 
@@ -1134,10 +1192,25 @@ impl SecureMemory {
                 .security
                 .persistent_register_latency
                 .saturating_mul(writes.len() as u64 + 1);
+            emit(
+                &self.events,
+                now,
+                "atomic_persist",
+                &[
+                    ("block", block.0.into()),
+                    ("staged_writes", writes.len().into()),
+                ],
+            );
             for w in &writes {
                 if let Some(left) = self.crash_after_wpq_writes {
                     if left == 0 {
                         self.crash_after_wpq_writes = None;
+                        emit(
+                            &self.events,
+                            t,
+                            "crash",
+                            &[("injected", true.into()), ("block", w.addr.0.into())],
+                        );
                         self.crash();
                         return Err(SecureMemoryError::NeedsRecovery);
                     }
@@ -1327,14 +1400,18 @@ impl SecureMemory {
                 .copied()
                 .unwrap_or([0; BLOCK_BYTES]);
             self.drain_evictions(now)?;
-            return Ok((data, now + self.l3.latency()));
+            let done = now + self.l3.latency();
+            self.hists.op_latency_ns.record(done.since(now).as_ns());
+            return Ok((data, done));
         }
         // The block may be sitting in its own pending write-back.
         if let Some(EvictItem::Data { plain, dirty, .. }) = self.reclaim(block) {
             self.plain.insert(block.0, plain);
             self.l3.access(block, dirty);
             self.drain_evictions(now)?;
-            return Ok((plain, now + self.l3.latency()));
+            let done = now + self.l3.latency();
+            self.hists.op_latency_ns.record(done.since(now).as_ns());
+            return Ok((plain, done));
         }
         // Fresh non-persistent blocks read as zeros (OS zero page).
         if kind == RegionKind::NonPersistent && !self.np_written.contains(&block.0) {
@@ -1342,6 +1419,7 @@ impl SecureMemory {
             self.plain.insert(block.0, [0; BLOCK_BYTES]);
             let (_, t) = self.mc.read(block, now);
             self.drain_evictions(now)?;
+            self.hists.op_latency_ns.record(t.since(now).as_ns());
             return Ok(([0; BLOCK_BYTES], t));
         }
         let layout = self.layout(kind).clone();
@@ -1371,6 +1449,7 @@ impl SecureMemory {
         // Decryption overlaps the data fetch (counter-mode); the MAC
         // check costs one hash after everything arrives.
         let done = t_data.max(t_ctr).max(t_mac) + self.config.security.hash_latency;
+        self.hists.op_latency_ns.record(done.since(now).as_ns());
         Ok((plaintext, done))
     }
 
@@ -1401,7 +1480,9 @@ impl SecureMemory {
         self.plain.insert(block.0, data);
         self.l3_touch(block, true);
         self.drain_evictions(now)?;
-        Ok(now + self.l3.latency())
+        let done = now + self.l3.latency();
+        self.hists.op_latency_ns.record(done.since(now).as_ns());
+        Ok(done)
     }
 
     /// Persists one block (`store; clwb; sfence`): writes the data and
@@ -1436,11 +1517,16 @@ impl SecureMemory {
         if let Some(pending) = &mut self.epoch {
             pending.push(block);
             self.drain_evictions(now)?;
-            return Ok(now + self.l3.latency());
+            let done = now + self.l3.latency();
+            self.hists
+                .persist_latency_ns
+                .record(done.since(now).as_ns());
+            return Ok(done);
         }
         let t = self.writeback_data(block, data, now + self.l3.latency(), true)?;
         self.l3.flush(block);
         self.drain_evictions(now)?;
+        self.hists.persist_latency_ns.record(t.since(now).as_ns());
         Ok(t)
     }
 
@@ -1519,6 +1605,7 @@ impl SecureMemory {
         let t = self.writeback_data(block, plaintext, now + self.l3.latency(), true)?;
         self.l3.flush(block);
         self.drain_evictions(now)?;
+        self.hists.persist_latency_ns.record(t.since(now).as_ns());
         Ok(t)
     }
 
@@ -1580,6 +1667,7 @@ impl SecureMemory {
     /// plaintext, on-chip metadata values, WPQ bookkeeping) vanishes;
     /// the NVM image and the persistent registers survive.
     pub fn crash(&mut self) {
+        emit(&self.events, self.clock, "crash", &[]);
         self.l3.lose_all();
         self.ctr_cache.lose_all();
         self.mt_cache.lose_all();
@@ -1618,6 +1706,7 @@ impl SecureMemory {
             });
         }
         let mut report = RecoveryReport::default();
+        emit(&self.events, self.clock, "recovery_begin", &[]);
         // 1. Replay a torn atomic update (§3.3.5).
         if let Some(staged) = self.regs.take_staged() {
             for w in &staged.writes {
@@ -1627,6 +1716,12 @@ impl SecureMemory {
                 self.regs.persistent_root = root;
             }
             report.replayed_staged_writes = staged.writes.len();
+            emit(
+                &self.events,
+                self.clock,
+                "recovery_replay",
+                &[("staged_writes", staged.writes.len().into())],
+            );
         }
         // 2. Persistent region: rebuild and verify.
         let p_layout = self.map.persistent().clone();
@@ -1724,6 +1819,16 @@ impl SecureMemory {
         } else {
             EngineState::Running
         };
+        emit(
+            &self.events,
+            self.clock,
+            "recovery_end",
+            &[
+                ("recovered", report.persistent_recovered.into()),
+                ("blocks_read", report.persistent_blocks_read.into()),
+                ("session", u64::from(report.session).into()),
+            ],
+        );
         Ok(report)
     }
 
@@ -1830,19 +1935,29 @@ impl SecureMemory {
         problems
     }
 
-    /// Reports every cache's and the memory controller's statistics
-    /// under standard prefixes.
-    pub fn report_stats(&self) -> StatSet {
-        let mut out = StatSet::new();
-        self.stats.report("secure.", &mut out);
-        self.l3.report("l3.", &mut out);
-        self.ctr_cache.report("ctr_cache.", &mut out);
-        self.mt_cache.report("mt_cache.", &mut out);
-        self.mc.report("mem.", &mut out);
+    /// Collects every component's counters and latency histograms into
+    /// one hierarchical registry (`secure.*`, `l3.*`, `ctr_cache.*`,
+    /// `mt_cache.*`, `mem.*`, `wear.*`).
+    pub fn stat_registry(&self) -> StatRegistry {
+        let mut reg = StatRegistry::new();
+        self.stats.register(&mut reg.scope("secure"));
+        self.hists.register(&mut reg.scope("secure"));
+        self.l3.register(&mut reg.scope("l3"));
+        self.ctr_cache.register(&mut reg.scope("ctr_cache"));
+        self.mt_cache.register(&mut reg.scope("mt_cache"));
+        self.mc.register(&mut reg.scope("mem"));
         let wear = self.mc.wear();
-        out.set("wear.max_writes", wear.max_writes());
-        out.set("wear.blocks_touched", wear.blocks_touched() as u64);
-        out.set("wear.imbalance_x1000", (wear.imbalance() * 1000.0) as u64);
-        out
+        let mut w = reg.scope("wear");
+        w.set("max_writes", wear.max_writes());
+        w.set("blocks_touched", wear.blocks_touched() as u64);
+        w.set("imbalance_x1000", (wear.imbalance() * 1000.0) as u64);
+        reg
+    }
+
+    /// Reports every cache's and the memory controller's statistics
+    /// under standard prefixes (the flattened view of
+    /// [`SecureMemory::stat_registry`]).
+    pub fn report_stats(&self) -> StatSet {
+        self.stat_registry().to_stat_set()
     }
 }

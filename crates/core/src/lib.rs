@@ -40,7 +40,9 @@ pub mod registers;
 pub mod scheme;
 pub mod system;
 
-pub use engine::{RegionHandle, Result, SecureMemory, SecureMemoryBuilder, SecureStats};
+pub use engine::{
+    RegionHandle, Result, SecureHists, SecureMemory, SecureMemoryBuilder, SecureStats,
+};
 pub use error::{IntegrityKind, SecureMemoryError};
 pub use recovery::{CorruptRange, PinpointReport, RecoveryModel, RecoveryReport};
 pub use registers::{PersistentRegisters, StagedUpdate, StagedWrite};

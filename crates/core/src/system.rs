@@ -11,7 +11,7 @@
 
 use triad_cache::{Cache, Replacement};
 use triad_sim::config::SystemConfig;
-use triad_sim::stats::{Histogram, StatSet};
+use triad_sim::stats::{Histogram, StatRegistry, StatSet};
 use triad_sim::time::Time;
 use triad_sim::trace::{MemOp, OpKind, TraceSource};
 use triad_sim::{BlockAddr, BLOCK_BYTES};
@@ -51,8 +51,12 @@ impl CoreStats {
 pub struct SystemResult {
     /// Per-core outcomes.
     pub cores: Vec<CoreStats>,
-    /// Collected statistics of the shared uncore.
+    /// Collected statistics of the shared uncore (the flattened view
+    /// of [`SystemResult::registry`]).
     pub stats: StatSet,
+    /// The hierarchical registry: every component's counters and
+    /// latency histograms, plus the merged per-core `core.latency_ns`.
+    pub registry: StatRegistry,
     /// Total NVM writes performed (the Figure 9 metric).
     pub nvm_writes: u64,
 }
@@ -295,11 +299,19 @@ impl System {
                 latency_ns: c.latency_ns.clone(),
             })
             .collect();
-        let stats = self.secure.report_stats();
+        let mut registry = self.secure.stat_registry();
+        {
+            let mut core_scope = registry.scope("core");
+            for c in &self.cores {
+                core_scope.histogram("latency_ns", &c.latency_ns);
+            }
+        }
+        let stats = registry.to_stat_set();
         Ok(SystemResult {
             cores,
             nvm_writes: self.secure.mem_stats().writes,
             stats,
+            registry,
         })
     }
 }

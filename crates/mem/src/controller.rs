@@ -14,7 +14,8 @@ use crate::store::{Block, SparseStore};
 use crate::timing::{PcmTiming, RowOutcome};
 use crate::wearlevel::StartGap;
 use triad_sim::config::MemConfig;
-use triad_sim::stats::{StatSet, StatSink};
+use triad_sim::events::{emit, SharedEventSink};
+use triad_sim::stats::{Histogram, Scope, StatRegister};
 use triad_sim::time::{Duration, Time};
 use triad_sim::BlockAddr;
 
@@ -39,6 +40,36 @@ pub struct MemStats {
     pub wpq_stall: Duration,
     /// Reads that were forwarded from a pending WPQ entry.
     pub wpq_forwards: u64,
+}
+
+/// Memory-controller latency distributions, kept beside the flat
+/// [`MemStats`] counters (which stay `Copy`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemHistograms {
+    /// Time a WPQ entry spends queued, acceptance to drain (ns).
+    pub wpq_residency_ns: Histogram,
+    /// WPQ occupancy sampled after each acceptance.
+    pub wpq_occupancy: Histogram,
+    /// Bank service latency for row-buffer hits (ns).
+    pub row_hit_service_ns: Histogram,
+    /// Bank service latency for row-buffer misses (ns).
+    pub row_miss_service_ns: Histogram,
+    /// Latency of reads forwarded from the WPQ (ns).
+    pub wpq_forward_ns: Histogram,
+    /// How long each write waited for WPQ admission (ns; zero unless
+    /// the queue was full).
+    pub write_accept_delay_ns: Histogram,
+}
+
+impl StatRegister for MemHistograms {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.histogram("wpq_residency_ns", &self.wpq_residency_ns);
+        scope.histogram("wpq_occupancy", &self.wpq_occupancy);
+        scope.histogram("row_hit_service_ns", &self.row_hit_service_ns);
+        scope.histogram("row_miss_service_ns", &self.row_miss_service_ns);
+        scope.histogram("wpq_forward_ns", &self.wpq_forward_ns);
+        scope.histogram("write_accept_delay_ns", &self.write_accept_delay_ns);
+    }
 }
 
 /// Per-block write-endurance accounting (PCM cells wear out after
@@ -107,6 +138,9 @@ pub struct MemoryController {
     /// Pending WPQ entries: `(drain completion, address)`.
     wpq: Vec<(Time, BlockAddr)>,
     stats: MemStats,
+    hists: MemHistograms,
+    /// Structured event tracing; `None` (the default) costs nothing.
+    events: Option<SharedEventSink>,
     wear: WearTracker,
     /// Optional device-side Start-Gap wear leveller. When enabled,
     /// `read`/`write` take *logical* addresses and the raw image
@@ -126,6 +160,8 @@ impl MemoryController {
             timing: PcmTiming::new(config),
             wpq: Vec::new(),
             stats: MemStats::default(),
+            hists: MemHistograms::default(),
+            events: None,
             wear: WearTracker::default(),
             leveler: None,
         }
@@ -165,6 +201,17 @@ impl MemoryController {
         self.stats
     }
 
+    /// Accumulated latency distributions.
+    pub fn histograms(&self) -> &MemHistograms {
+        &self.hists
+    }
+
+    /// Routes structured events (WPQ enqueue/drain/coalesce/stall)
+    /// into `sink`. Tracing is off until this is called.
+    pub fn set_event_sink(&mut self, sink: SharedEventSink) {
+        self.events = Some(sink);
+    }
+
     /// Direct access to the functional NVM image (the attacker's and
     /// the recovery procedure's view).
     pub fn store(&self) -> &SparseStore {
@@ -178,6 +225,13 @@ impl MemoryController {
     }
 
     fn drain_completed(&mut self, now: Time) {
+        if self.events.is_some() {
+            // Stamp each drain with its own completion time, not `now`,
+            // so the trace is independent of when we happened to look.
+            for (done, addr) in self.wpq.iter().filter(|(done, _)| *done <= now) {
+                emit(&self.events, *done, "wpq_drain", &[("addr", addr.0.into())]);
+            }
+        }
         self.wpq.retain(|(done, _)| *done > now);
     }
 
@@ -191,12 +245,21 @@ impl MemoryController {
         let data = self.store.read(addr);
         if self.wpq.iter().any(|(_, a)| *a == addr) {
             self.stats.wpq_forwards += 1;
-            return (data, now + self.config.t_cl);
+            let done = now + self.config.t_cl;
+            self.hists.wpq_forward_ns.record(done.since(now).as_ns());
+            return (data, done);
         }
         let (done, row) = self.timing.service(addr, false, now);
+        let service_ns = done.since(now).as_ns();
         match row {
-            RowOutcome::Hit => self.stats.row_hits += 1,
-            RowOutcome::Miss => self.stats.row_misses += 1,
+            RowOutcome::Hit => {
+                self.stats.row_hits += 1;
+                self.hists.row_hit_service_ns.record(service_ns);
+            }
+            RowOutcome::Miss => {
+                self.stats.row_misses += 1;
+                self.hists.row_miss_service_ns.record(service_ns);
+            }
         }
         (data, done)
     }
@@ -223,6 +286,12 @@ impl MemoryController {
         if self.wpq.iter().any(|(_, a)| *a == addr) {
             self.stats.wpq_coalesced += 1;
             self.store.write(addr, data);
+            emit(
+                &self.events,
+                now,
+                "wpq_coalesce",
+                &[("addr", addr.0.into())],
+            );
             return now;
         }
         let mut accept = now;
@@ -233,9 +302,18 @@ impl MemoryController {
             let earliest = self.wpq.iter().map(|(done, _)| *done).min().unwrap_or(now);
             accept = accept.max(earliest);
             self.stats.wpq_stall += accept.since(now);
+            emit(
+                &self.events,
+                now,
+                "wpq_stall",
+                &[("addr", addr.0.into()), ("until_ps", accept.as_ps().into())],
+            );
             self.drain_completed(accept);
         }
         self.stats.writes += 1;
+        self.hists
+            .write_accept_delay_ns
+            .record(accept.since(now).as_ns());
         self.wear.record(addr);
         // Durable on acceptance (ADR), drained to the array afterwards.
         self.store.write(addr, data);
@@ -245,6 +323,20 @@ impl MemoryController {
             RowOutcome::Miss => self.stats.row_misses += 1,
         }
         self.wpq.push((done, addr));
+        self.hists
+            .wpq_residency_ns
+            .record(done.since(accept).as_ns());
+        self.hists.wpq_occupancy.record(self.wpq.len() as u64);
+        emit(
+            &self.events,
+            accept,
+            "wpq_enqueue",
+            &[
+                ("addr", addr.0.into()),
+                ("occupancy", self.wpq.len().into()),
+                ("drain_at_ps", done.as_ps().into()),
+            ],
+        );
         accept
     }
 
@@ -269,17 +361,23 @@ impl MemoryController {
     }
 }
 
-impl StatSink for MemoryController {
-    fn report(&self, prefix: &str, out: &mut StatSet) {
-        let s = &self.stats;
-        out.set(format!("{prefix}reads"), s.reads);
-        out.set(format!("{prefix}writes"), s.writes);
-        out.set(format!("{prefix}row_hits"), s.row_hits);
-        out.set(format!("{prefix}row_misses"), s.row_misses);
-        out.set(format!("{prefix}wpq_full_events"), s.wpq_full_events);
-        out.set(format!("{prefix}wpq_coalesced"), s.wpq_coalesced);
-        out.set(format!("{prefix}wpq_stall_ns"), s.wpq_stall.as_ns());
-        out.set(format!("{prefix}wpq_forwards"), s.wpq_forwards);
+impl StatRegister for MemStats {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.set("reads", self.reads);
+        scope.set("writes", self.writes);
+        scope.set("row_hits", self.row_hits);
+        scope.set("row_misses", self.row_misses);
+        scope.set("wpq_full_events", self.wpq_full_events);
+        scope.set("wpq_coalesced", self.wpq_coalesced);
+        scope.set("wpq_stall_ns", self.wpq_stall.as_ns());
+        scope.set("wpq_forwards", self.wpq_forwards);
+    }
+}
+
+impl StatRegister for MemoryController {
+    fn register(&self, scope: &mut Scope<'_>) {
+        self.stats.register(scope);
+        self.hists.register(scope);
     }
 }
 
@@ -386,12 +484,99 @@ mod tests {
     }
 
     #[test]
-    fn stat_sink_report() {
+    fn stat_register_report() {
         let mut m = mc();
         m.write(BlockAddr(1), [1; 64], Time::ZERO);
-        let mut out = StatSet::new();
-        m.report("mem.", &mut out);
-        assert_eq!(out.get("mem.writes"), 1);
+        let mut reg = triad_sim::stats::StatRegistry::new();
+        m.register(&mut reg.scope("mem"));
+        assert_eq!(reg.counter("mem.writes"), 1);
+        let occ = reg.histogram("mem.wpq_occupancy").expect("occupancy");
+        assert_eq!(occ.count(), 1);
+        assert_eq!(occ.max(), 1);
+        assert!(reg.histogram("mem.wpq_residency_ns").expect("res").min() > 0);
+    }
+
+    #[test]
+    fn wpq_accepts_exactly_capacity_before_stalling() {
+        // Pins the ISSUE-3 boundary question: the controller *should*
+        // accept `wpq_entries` writes without stalling and stall on
+        // write `wpq_entries + 1`. The pre-existing check
+        // (`len() >= wpq_entries` tested before pushing) already did
+        // exactly that — this test pins the behaviour so an off-by-one
+        // can never creep in silently.
+        let mut m = mc();
+        let entries = m.config().wpq_entries as u64;
+        // Distinct rows of one bank: drains serialise, nothing
+        // completes at time zero, nothing coalesces.
+        for i in 0..entries {
+            let accept = m.write(BlockAddr(i * 64), [1; 64], Time::ZERO);
+            assert_eq!(accept, Time::ZERO, "write {i} must not stall");
+        }
+        assert_eq!(m.stats().wpq_full_events, 0, "queue holds exactly capacity");
+        assert_eq!(m.stats().wpq_stall, Duration::ZERO);
+        assert_eq!(m.wpq_occupancy(Time::ZERO), entries as usize);
+
+        let accept = m.write(BlockAddr(entries * 64), [1; 64], Time::ZERO);
+        assert_eq!(m.stats().wpq_full_events, 1, "entry N+1 finds it full");
+        assert!(accept > Time::ZERO, "entry N+1 stalls until a drain");
+        assert!(m.stats().wpq_stall > Duration::ZERO);
+    }
+
+    #[test]
+    fn crash_persists_exactly_the_accepted_writes() {
+        // ADR semantics: every write *accepted* into the WPQ is inside
+        // the persistence domain, including entries still queued at
+        // power loss — and nothing else reaches the image.
+        let mut m = mc();
+        let entries = m.config().wpq_entries as u64;
+        let n = entries + 4; // forces stalls; later writes queue behind
+        for i in 0..n {
+            m.write(BlockAddr(i * 64), [i as u8 + 1; 64], Time::ZERO);
+        }
+        assert!(m.wpq_occupancy(Time::ZERO) > 0, "entries still pending");
+        let image = m.crash();
+        let mut found: Vec<u64> = image.iter().map(|(a, _)| a.0).collect();
+        found.sort_unstable();
+        let expected: Vec<u64> = (0..n).map(|i| i * 64).collect();
+        assert_eq!(found, expected, "image holds exactly the accepted writes");
+        for i in 0..n {
+            assert_eq!(image.read(BlockAddr(i * 64)), [i as u8 + 1; 64]);
+        }
+        assert_eq!(m.wpq_occupancy(Time::ZERO), 0, "queue bookkeeping cleared");
+    }
+
+    #[test]
+    fn event_sink_records_wpq_lifecycle() {
+        use std::cell::RefCell;
+        use std::io;
+        use std::rc::Rc;
+
+        struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+        impl io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        let mut m = mc();
+        m.set_event_sink(triad_sim::events::EventSink::shared(Box::new(SharedBuf(
+            buf.clone(),
+        ))));
+        m.write(BlockAddr(1), [1; 64], Time::ZERO);
+        m.write(BlockAddr(1), [2; 64], Time::ZERO); // coalesces
+        m.wpq_occupancy(Time::from_ns(100_000)); // drains
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        assert!(text.contains("\"event\":\"wpq_enqueue\""), "{text}");
+        assert!(text.contains("\"event\":\"wpq_coalesce\""), "{text}");
+        assert!(text.contains("\"event\":\"wpq_drain\""), "{text}");
+        for line in text.lines() {
+            assert!(line.starts_with("{\"t_ps\":") && line.ends_with('}'));
+        }
     }
 
     #[test]

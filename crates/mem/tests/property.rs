@@ -1,8 +1,10 @@
 //! Property tests of the memory controller: durability of accepted
-//! writes (with coalescing), monotonic timing, and crash behaviour.
+//! writes (with coalescing), monotonic timing, crash behaviour, and
+//! the bank-availability probe of the PCM timing model.
 
 use std::collections::HashMap;
 use triad_mem::controller::MemoryController;
+use triad_mem::timing::{PcmTiming, RowOutcome};
 use triad_sim::config::SystemConfig;
 use triad_sim::prop::{check, check_ops, Config};
 use triad_sim::rng::SplitMix64;
@@ -103,6 +105,91 @@ fn wpq_occupancy_is_bounded() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn bank_free_at_agrees_with_service() {
+    // Pins the row-close tWR accounting: `bank_free_at` is the timing
+    // model's only read-side probe, and the controller's WPQ stall
+    // logic implicitly depends on it matching what `service` will
+    // actually do. The shadow model re-derives bank/bus availability
+    // from `coords()` alone, so any drift in how `service` charges
+    // activation (the deferred 150 ns array write) or the bus burst
+    // shows up as a disagreement.
+    check_ops(
+        "bank_free_at_agrees_with_service",
+        Config::cases(48),
+        |rng| {
+            let len = rng.gen_range(1..200) as usize;
+            (0..len)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..512),     // block address
+                        rng.next_u32() % 2 == 0,   // write?
+                        rng.gen_range(0..200_000), // issue advance (ps)
+                    )
+                })
+                .collect::<Vec<(u64, bool, u64)>>()
+        },
+        |ops, _| {
+            let cfg = SystemConfig::tiny().mem;
+            let mut t = PcmTiming::new(cfg);
+            let probe = PcmTiming::new(cfg);
+            let mut bank_free: HashMap<usize, Time> = HashMap::new();
+            let mut open_row: HashMap<usize, u64> = HashMap::new();
+            let mut bus_free: HashMap<usize, Time> = HashMap::new();
+            let mut now = Time::ZERO;
+            for &(addr, write, advance_ps) in ops {
+                now += triad_sim::Duration::from_ps(advance_ps);
+                let addr = BlockAddr(addr);
+                let c = probe.coords(addr);
+
+                // The probe must reflect exactly the model's bank state.
+                let model_free = bank_free.get(&c.bank).copied().unwrap_or(Time::ZERO);
+                ensure!(
+                    t.bank_free_at(addr) == model_free,
+                    "bank {} probe {} != model {}",
+                    c.bank,
+                    t.bank_free_at(addr),
+                    model_free
+                );
+
+                // Predict what `service` must return.
+                let start = now.max(model_free);
+                let hit = open_row.get(&c.bank) == Some(&c.row);
+                let array = if hit {
+                    triad_sim::Duration::ZERO
+                } else if write {
+                    cfg.write_latency
+                } else {
+                    cfg.read_latency
+                };
+                let ready = start + array + cfg.t_cl;
+                let bus = bus_free.get(&c.channel).copied().unwrap_or(Time::ZERO);
+                let expected_done = ready.max(bus) + cfg.burst;
+
+                let (done, outcome) = t.service(addr, write, now);
+                ensure!(
+                    done == expected_done,
+                    "service {addr:?} done {done} != predicted {expected_done}"
+                );
+                ensure!(
+                    (outcome == RowOutcome::Hit) == hit,
+                    "service {addr:?} outcome {outcome:?} but model hit={hit}"
+                );
+                ensure!(
+                    t.bank_free_at(addr) == done,
+                    "after service, probe {} != completion {done}",
+                    t.bank_free_at(addr)
+                );
+
+                open_row.insert(c.bank, c.row);
+                bank_free.insert(c.bank, done);
+                bus_free.insert(c.channel, done);
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

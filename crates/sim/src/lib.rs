@@ -9,7 +9,11 @@
 //!   generators produce and the multi-core driver consumes.
 //! * [`config`] — the full simulated-system configuration, with defaults
 //!   reproducing Table 1 of the ISCA'19 paper.
-//! * [`stats`] — lightweight named-counter statistics.
+//! * [`stats`] — named-counter statistics, log-bucketed latency
+//!   histograms, and the hierarchical [`stats::StatRegistry`] that
+//!   components report into.
+//! * [`events`] — opt-in structured event tracing (JSON lines stamped
+//!   with simulated time only).
 //! * [`rng`] — the workspace's only randomness source: a deterministic
 //!   SplitMix64 generator with range/float/byte sampling and stream
 //!   splitting (no `rand` dependency anywhere).
@@ -31,6 +35,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod events;
 pub mod prop;
 pub mod rng;
 pub mod stats;
@@ -40,5 +45,7 @@ pub mod trace_file;
 
 pub use addr::{BlockAddr, PhysAddr, BLOCK_BYTES, BLOCK_SHIFT};
 pub use config::SystemConfig;
+pub use events::{EventSink, SharedEventSink};
+pub use stats::{Histogram, Scope, StatRegister, StatRegistry, StatSet};
 pub use time::{Duration, Time};
 pub use trace::{InterleavedTrace, MemOp, OpKind, TakeTrace, TraceSource};

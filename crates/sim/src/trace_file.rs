@@ -10,7 +10,15 @@
 //! S 0x1a80 3      # store
 //! P 0x2000 0      # store + clwb + sfence (persistent store)
 //! F 0x2000 0      # clwb + sfence (flush)
+//! # triad-trace end ops=4
 //! ```
+//!
+//! The header and the `end ops=N` footer are mandatory for
+//! [`read_trace`]: a file that lost its tail (interrupted copy,
+//! truncated download) would otherwise *silently* replay as a shorter
+//! workload and skew every downstream statistic. Hand-authored
+//! headerless snippets can still be loaded with
+//! [`read_trace_lenient`], which performs no integrity checks.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -30,6 +38,21 @@ pub enum TraceFileError {
         /// The offending text.
         text: String,
     },
+    /// The file does not start with the `# triad-trace v1` header.
+    MissingHeader,
+    /// The `# triad-trace end ops=N` footer is absent: the file lost
+    /// its tail and an unknown number of operations with it.
+    Truncated {
+        /// Operations successfully parsed before the stream ended.
+        found: u64,
+    },
+    /// The footer's declared operation count disagrees with the body.
+    CountMismatch {
+        /// Count declared by the footer.
+        declared: u64,
+        /// Operations actually present.
+        found: u64,
+    },
 }
 
 impl fmt::Display for TraceFileError {
@@ -39,6 +62,21 @@ impl fmt::Display for TraceFileError {
             TraceFileError::Parse { line, text } => {
                 write!(f, "malformed trace line {line}: {text:?}")
             }
+            TraceFileError::MissingHeader => {
+                write!(f, "not a triad trace: missing `# triad-trace v1` header")
+            }
+            TraceFileError::Truncated { found } => {
+                write!(
+                    f,
+                    "truncated trace: no `# triad-trace end` footer after {found} ops"
+                )
+            }
+            TraceFileError::CountMismatch { declared, found } => {
+                write!(
+                    f,
+                    "corrupt trace: footer declares {declared} ops but {found} present"
+                )
+            }
         }
     }
 }
@@ -47,7 +85,7 @@ impl std::error::Error for TraceFileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceFileError::Io(e) => Some(e),
-            TraceFileError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -57,6 +95,9 @@ impl From<io::Error> for TraceFileError {
         TraceFileError::Io(e)
     }
 }
+
+const HEADER: &str = "# triad-trace v1";
+const FOOTER_PREFIX: &str = "# triad-trace end ops=";
 
 fn kind_letter(kind: OpKind) -> char {
     match kind {
@@ -83,10 +124,13 @@ fn parse_kind(c: &str) -> Option<OpKind> {
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_trace<W: Write>(mut w: W, ops: &[MemOp]) -> io::Result<()> {
-    writeln!(w, "# triad-trace v1")?;
+    writeln!(w, "{HEADER}")?;
     for op in ops {
         writeln!(w, "{} {:#x} {}", kind_letter(op.kind), op.addr.0, op.gap)?;
     }
+    // The footer carries the op count so a reader can tell a complete
+    // file from one that lost its tail.
+    writeln!(w, "{FOOTER_PREFIX}{}", ops.len())?;
     Ok(())
 }
 
@@ -138,15 +182,86 @@ fn parse_line(line: &str, number: usize) -> Result<Option<MemOp>, TraceFileError
     }))
 }
 
-/// Parses a whole trace from a reader.
+/// Parses a complete v1 trace, verifying header and footer.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError`] on I/O failure, malformed lines, a
+/// missing `# triad-trace v1` header, a missing `# triad-trace end`
+/// footer (truncation), or a footer count that disagrees with the
+/// body (corruption).
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MemOp>, TraceFileError> {
+    let mut ops = Vec::new();
+    let mut saw_header = false;
+    let mut declared: Option<u64> = None;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if !saw_header {
+            // The header must be the first non-blank line; anything
+            // else means this is not (or no longer) a v1 trace file.
+            if text.is_empty() {
+                continue;
+            }
+            if text != HEADER {
+                return Err(TraceFileError::MissingHeader);
+            }
+            saw_header = true;
+            continue;
+        }
+        if declared.is_some() {
+            // Nothing but blanks/comments may follow the footer.
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            return Err(TraceFileError::Parse {
+                line: i + 1,
+                text: text.to_string(),
+            });
+        }
+        if let Some(count_txt) = text.strip_prefix(FOOTER_PREFIX) {
+            let count = count_txt
+                .trim()
+                .parse()
+                .map_err(|_| TraceFileError::Parse {
+                    line: i + 1,
+                    text: text.to_string(),
+                })?;
+            declared = Some(count);
+            continue;
+        }
+        if let Some(op) = parse_line(&line, i + 1)? {
+            ops.push(op);
+        }
+    }
+    if !saw_header {
+        return Err(TraceFileError::MissingHeader);
+    }
+    match declared {
+        None => Err(TraceFileError::Truncated {
+            found: ops.len() as u64,
+        }),
+        Some(declared) if declared != ops.len() as u64 => Err(TraceFileError::CountMismatch {
+            declared,
+            found: ops.len() as u64,
+        }),
+        Some(_) => Ok(ops),
+    }
+}
+
+/// Parses a trace without requiring the header or footer, accepting
+/// hand-authored snippets. Performs **no** truncation detection — a
+/// file that lost its tail parses as a shorter trace.
 ///
 /// # Errors
 ///
 /// Returns [`TraceFileError`] on I/O failure or malformed lines.
-pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MemOp>, TraceFileError> {
+pub fn read_trace_lenient<R: BufRead>(r: R) -> Result<Vec<MemOp>, TraceFileError> {
     let mut ops = Vec::new();
     for (i, line) in r.lines().enumerate() {
-        if let Some(op) = parse_line(&line?, i + 1)? {
+        let text = line?;
+        // The footer is a comment, so recorded files parse too.
+        if let Some(op) = parse_line(&text, i + 1)? {
             ops.push(op);
         }
     }
@@ -174,11 +289,13 @@ impl ReplayTrace {
         }
     }
 
-    /// Parses a trace from any reader and wraps it for replay.
+    /// Parses a complete v1 trace (header + footer verified, see
+    /// [`read_trace`]) from any reader and wraps it for replay.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceFileError`] on I/O failure or malformed lines.
+    /// Returns [`TraceFileError`] on I/O failure, malformed lines, or
+    /// a missing/inconsistent header or footer.
     pub fn from_reader<R: BufRead>(
         name: impl Into<String>,
         r: R,
@@ -245,7 +362,8 @@ mod tests {
 
     #[test]
     fn comments_blank_lines_and_decimal_addresses_accepted() {
-        let text = "# header\n\nL 4096 2\n  # indented comment\nS 0x40\n";
+        let text =
+            "# triad-trace v1\n\nL 4096 2\n  # indented comment\nS 0x40\n# triad-trace end ops=2\n";
         let ops = read_trace(text.as_bytes()).unwrap();
         assert_eq!(ops.len(), 2);
         assert_eq!(ops[0].addr, PhysAddr(4096));
@@ -255,11 +373,84 @@ mod tests {
     #[test]
     fn malformed_lines_are_rejected_with_location() {
         for bad in ["X 0x40 1", "L", "L zzz 1", "L 0x40 1 extra"] {
-            let text = format!("L 0x0 0\n{bad}\n");
+            let text = format!("# triad-trace v1\nL 0x0 0\n{bad}\n");
             match read_trace(text.as_bytes()) {
-                Err(TraceFileError::Parse { line, .. }) => assert_eq!(line, 2, "{bad}"),
+                Err(TraceFileError::Parse { line, .. }) => assert_eq!(line, 3, "{bad}"),
                 other => panic!("{bad}: expected parse error, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected() {
+        // Regression: a trace that lost its tail used to parse as a
+        // *shorter valid trace* — every downstream statistic silently
+        // ran a different workload. The footer now makes the loss
+        // detectable.
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Drop the footer and the last op, as an interrupted copy would.
+        let cut: Vec<&str> = text.lines().collect();
+        let truncated = cut[..cut.len() - 2].join("\n");
+        match read_trace(truncated.as_bytes()) {
+            Err(TraceFileError::Truncated { found }) => {
+                assert_eq!(found, ops.len() as u64 - 1);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // The lenient reader documents the old behaviour: it yields
+        // the short stream without complaint.
+        let lenient = read_trace_lenient(truncated.as_bytes()).unwrap();
+        assert_eq!(lenient.len(), ops.len() - 1);
+    }
+
+    #[test]
+    fn footer_count_mismatch_is_rejected() {
+        // A tampered or mid-body-truncated file whose footer survived.
+        let text = "# triad-trace v1\nL 0x40 1\n# triad-trace end ops=3\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceFileError::CountMismatch { declared, found }) => {
+                assert_eq!((declared, found), (3, 1));
+            }
+            other => panic!("expected CountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        for text in ["L 0x40 1\n", "# not a trace\nL 0x40 1\n", ""] {
+            match read_trace(text.as_bytes()) {
+                Err(TraceFileError::MissingHeader) => {}
+                other => panic!("{text:?}: expected MissingHeader, got {other:?}"),
+            }
+        }
+        // Lenient accepts hand-authored headerless snippets.
+        assert_eq!(
+            read_trace_lenient(b"L 0x40 1\n".as_slice()).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn garbage_after_footer_is_rejected() {
+        let text = "# triad-trace v1\nL 0x40 1\n# triad-trace end ops=1\nS 0x80 0\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceFileError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Trailing comments/blanks after the footer stay legal.
+        let ok = "# triad-trace v1\nL 0x40 1\n# triad-trace end ops=1\n\n# eof\n";
+        assert_eq!(read_trace(ok.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_footer_count_is_a_parse_error() {
+        let text = "# triad-trace v1\n# triad-trace end ops=zz\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceFileError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Parse, got {other:?}"),
         }
     }
 
@@ -291,7 +482,7 @@ mod tests {
 
     #[test]
     fn from_reader_builds_a_source() {
-        let text = "L 0x40 1\nP 0x80 2\n";
+        let text = "# triad-trace v1\nL 0x40 1\nP 0x80 2\n# triad-trace end ops=2\n";
         let mut t = ReplayTrace::from_reader("file", text.as_bytes(), false).unwrap();
         assert_eq!(t.name(), "file");
         assert_eq!(t.next_op().unwrap().kind, OpKind::Load);
