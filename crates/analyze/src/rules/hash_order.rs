@@ -10,7 +10,13 @@ use crate::rules::walk_slices;
 pub struct HashOrder;
 
 /// Crates whose iteration order feeds simulation results.
-const SCOPES: &[&str] = &["crates/sim/", "crates/core/", "crates/mem/", "crates/meta/"];
+const SCOPES: &[&str] = &[
+    "crates/sim/",
+    "crates/core/",
+    "crates/mem/",
+    "crates/meta/",
+    "crates/kv/",
+];
 
 impl Rule for HashOrder {
     fn id(&self) -> &'static str {

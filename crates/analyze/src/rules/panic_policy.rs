@@ -15,7 +15,7 @@ use crate::rules::walk_slices;
 pub struct PanicPolicy;
 
 /// Crates holding the persistence-critical state machines.
-const SCOPES: &[&str] = &["crates/core/", "crates/mem/", "crates/meta/"];
+const SCOPES: &[&str] = &["crates/core/", "crates/mem/", "crates/meta/", "crates/kv/"];
 
 impl Rule for PanicPolicy {
     fn id(&self) -> &'static str {

@@ -15,6 +15,20 @@
 //! `return Ok` site or the function's tail `Ok(...)` while `pending`
 //! is set is a finding. Error paths (`?`, `return Err`) are exempt:
 //! failed operations make no persistence promise.
+//!
+//! # The KV section
+//!
+//! The same rule audits the write-ahead-log protocol of
+//! `crates/kv/src/store.rs`: every public `&mut self` operation of
+//! `KvStore` that touches the WAL must run `log_append` →
+//! `log_commit` → `apply_writes` in that order on every Ok path.
+//! Applying index/entry writes before the commit marker is durable is
+//! exactly the torn-transaction window the log exists to close, so
+//! the walker tracks the *set* of possible protocol states (idle /
+//! appended / committed) through brace groups (union on exit, since a
+//! branch may not run) and flags an `apply_writes` reachable on a
+//! path where the marker may not be durable, or an Ok return with a
+//! logged transaction left unapplied.
 
 use crate::lexer::Span;
 use crate::lint::{FileAnalysis, Finding, Rule, Severity};
@@ -43,6 +57,19 @@ const DRAINS: &[&str] = &["drain_evictions"];
 /// The type whose public surface the audit covers.
 const ENGINE_TYPE: &str = "SecureMemory";
 
+/// The KV store's WAL protocol helpers, in required durability order.
+const KV_APPEND: &[&str] = &["log_append"];
+const KV_COMMIT: &[&str] = &["log_commit"];
+const KV_APPLY: &[&str] = &["apply_writes"];
+
+/// The type whose public surface the KV section covers.
+const KV_TYPE: &str = "KvStore";
+
+/// Possible WAL protocol states (a bitset: brace groups union).
+const ST_IDLE: u8 = 1;
+const ST_APPENDED: u8 = 2;
+const ST_COMMITTED: u8 = 4;
+
 impl Rule for PersistOrder {
     fn id(&self) -> &'static str {
         "persist-order"
@@ -53,13 +80,21 @@ impl Rule for PersistOrder {
     }
 
     fn description(&self) -> &'static str {
-        "public engine ops that feed the eviction queue must drain it on every Ok path"
+        "public engine ops must drain the eviction queue, and KV ops must \
+         order log append -> commit marker -> index apply, on every Ok path"
     }
 
     fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
-        if !file.path.ends_with("crates/core/src/engine.rs") {
-            return;
+        if file.path.ends_with("crates/core/src/engine.rs") {
+            self.check_engine(file, out);
+        } else if file.path.ends_with("crates/kv/src/store.rs") {
+            self.check_kv(file, out);
         }
+    }
+}
+
+impl PersistOrder {
+    fn check_engine(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
         for ib in impl_blocks(&file.toks) {
             if ib.target != ENGINE_TYPE || ib.trait_name.is_some() {
                 continue;
@@ -72,6 +107,23 @@ impl Rule for PersistOrder {
                 }
                 let mut pending = false;
                 walk(f.body, &mut pending, true, &f.name, self, file, out);
+            }
+        }
+    }
+
+    fn check_kv(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
+        let wal_call =
+            |n: &str| KV_APPEND.contains(&n) || KV_COMMIT.contains(&n) || KV_APPLY.contains(&n);
+        for ib in impl_blocks(&file.toks) {
+            if ib.target != KV_TYPE || ib.trait_name.is_some() {
+                continue;
+            }
+            for f in pub_mut_self_fns(ib.body) {
+                if !any_ident(f.body, &wal_call) {
+                    continue;
+                }
+                let mut states = ST_IDLE;
+                kv_walk(f.body, &mut states, true, &f.name, self, file, out);
             }
         }
     }
@@ -226,6 +278,113 @@ fn walk(
             );
         }
     }
+}
+
+/// The KV walker: tracks the set of possible WAL states through the
+/// token tree. Brace groups are conditional regions — the state set is
+/// cloned in and unioned out, so a `log_commit` inside an `if` leaves
+/// "maybe uncommitted" alive on the parent path.
+#[allow(clippy::too_many_arguments)]
+fn kv_walk(
+    toks: &[Tok],
+    states: &mut u8,
+    top: bool,
+    fn_name: &str,
+    rule: &PersistOrder,
+    file: &FileAnalysis,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < toks.len() {
+        if is_call(toks, i, KV_APPEND) || is_call(toks, i, KV_COMMIT) || is_call(toks, i, KV_APPLY)
+        {
+            if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
+                // Arguments evaluate before the call takes effect.
+                kv_walk(tokens, states, false, fn_name, rule, file, out);
+            }
+            if is_call(toks, i, KV_APPLY) {
+                if *states & !ST_COMMITTED != 0 {
+                    kv_report(
+                        toks[i].span(),
+                        fn_name,
+                        "applies transaction writes on a path where the \
+                         commit marker may not be durable",
+                        rule,
+                        file,
+                        out,
+                    );
+                }
+                *states = ST_IDLE;
+            } else if is_call(toks, i, KV_COMMIT) {
+                *states = ST_COMMITTED;
+            } else {
+                *states = ST_APPENDED;
+            }
+            i += 2;
+            continue;
+        }
+        match &toks[i] {
+            t if t.is_ident("return")
+                && *states & (ST_APPENDED | ST_COMMITTED) != 0
+                && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
+            {
+                kv_report(
+                    t.span(),
+                    fn_name,
+                    "returns Ok with a logged transaction not yet applied",
+                    rule,
+                    file,
+                    out,
+                );
+            }
+            Tok::Group {
+                delim: '{', tokens, ..
+            } => {
+                let mut inner = *states;
+                kv_walk(tokens, &mut inner, false, fn_name, rule, file, out);
+                *states |= inner;
+            }
+            Tok::Group { tokens, .. } => {
+                kv_walk(tokens, states, false, fn_name, rule, file, out);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if top && *states & (ST_APPENDED | ST_COMMITTED) != 0 {
+        let n = toks.len();
+        if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
+            kv_report(
+                toks[n - 2].span(),
+                fn_name,
+                "falls off the end with Ok while a logged transaction is not yet applied",
+                rule,
+                file,
+                out,
+            );
+        }
+    }
+}
+
+fn kv_report(
+    span: Span,
+    fn_name: &str,
+    how: &str,
+    rule: &PersistOrder,
+    file: &FileAnalysis,
+    out: &mut Vec<Finding>,
+) {
+    out.push(Finding {
+        rule: rule.id(),
+        severity: rule.severity(),
+        path: file.path.clone(),
+        line: span.line,
+        col: span.col,
+        message: format!(
+            "`{fn_name}` {how}; the WAL contract is \
+             log_append -> log_commit -> apply_writes on every Ok path"
+        ),
+    });
 }
 
 fn report(

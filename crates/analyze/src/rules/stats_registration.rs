@@ -21,6 +21,7 @@ const SCOPES: &[&str] = &[
     "crates/mem/",
     "crates/core/",
     "crates/meta/",
+    "crates/kv/",
 ];
 
 /// The reporting traits a stats struct hangs its counters on: the

@@ -1,0 +1,52 @@
+impl KvStore {
+    // BAD: applies before the commit marker is durable, and returns
+    // Ok with the committed transaction never applied.
+    pub fn put_unordered(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_append(mem, key)?;
+        self.apply_writes(mem)?;
+        self.log_commit(mem)?;
+        Ok(())
+    }
+
+    // BAD: the commit is conditional, so the apply may run on an
+    // uncommitted path.
+    pub fn put_conditional(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_append(mem, key)?;
+        if key > 0 {
+            self.log_commit(mem)?;
+        }
+        self.apply_writes(mem)?;
+        Ok(())
+    }
+
+    // BAD: the appended transaction is never committed or applied.
+    pub fn put_abandoned(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_append(mem, key)?;
+        Ok(())
+    }
+
+    // GOOD: the canonical order (appends may repeat).
+    pub fn put(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_append(mem, key)?;
+        self.log_append(mem, key + 1)?;
+        self.log_commit(mem)?;
+        self.apply_writes(mem)?;
+        Ok(())
+    }
+
+    // GOOD: error paths make no durability promise.
+    pub fn put_failing(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_append(mem, key)?;
+        if key == 0 {
+            return Err(Error::LogFull);
+        }
+        self.log_commit(mem)?;
+        self.apply_writes(mem)?;
+        Ok(())
+    }
+
+    // Not audited: no WAL calls.
+    pub fn touch(&mut self, _mem: &mut Mem) -> Result<(), Error> {
+        Ok(())
+    }
+}

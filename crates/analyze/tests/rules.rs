@@ -142,6 +142,41 @@ fn persist_order_only_audits_the_engine() {
 }
 
 #[test]
+fn persist_order_kv_fires_on_wal_order_violations() {
+    let hits = rule_hits(
+        "crates/kv/src/store.rs",
+        "persist_order_kv_fires.rs",
+        "persist-order",
+    );
+    // put_unordered's premature apply + its tail Ok (committed but
+    // never applied), put_conditional's maybe-uncommitted apply, and
+    // put_abandoned's tail Ok; put / put_failing / touch stay clean.
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert_eq!(hits[0].0, 6, "apply before commit");
+    assert_eq!(hits[1].0, 8, "committed but unapplied tail Ok");
+    assert_eq!(hits[2].0, 18, "apply under conditional commit");
+    assert_eq!(hits[3].0, 25, "appended but abandoned tail Ok");
+}
+
+#[test]
+fn persist_order_kv_respects_suppression() {
+    let f = analyze_source(
+        "crates/kv/src/store.rs",
+        &fixture("persist_order_kv_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn persist_order_kv_only_audits_the_store() {
+    let f = analyze_source(
+        "crates/kv/src/log.rs",
+        &fixture("persist_order_kv_fires.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule != "persist-order"), "{f:?}");
+}
+
+#[test]
 fn stats_registration_fires() {
     let hits = rule_hits(
         "crates/sim/src/stats.rs",

@@ -4,8 +4,11 @@
 //! Replays the persistent workload mixes of §4 over every persistence
 //! scheme (write-back baseline, TriadNVM-1/2/3, Strict) on
 //! `SplitMix64`-seeded traces, then crashes and functionally recovers
-//! each cell. Emits `BENCH_pr3.json` (deterministic: running twice
-//! with the same seed is byte-identical) plus a human-readable table.
+//! each cell. Two extra rows (`kv-zipf`, `kv-uniform`) drive the
+//! `triad-kv` transactional store fleet and verify recovery against an
+//! in-DRAM oracle. Emits `BENCH_pr4.json` (deterministic: running
+//! twice with the same seed is byte-identical) plus a human-readable
+//! table.
 //!
 //! Usage:
 //!   cargo run -p triad-bench --release --bin triad-report
@@ -19,6 +22,7 @@ use std::fmt::Write as _;
 use triad_core::{PersistScheme, SecureMemoryBuilder, System};
 use triad_sim::config::SystemConfig;
 use triad_sim::stats::Histogram;
+use triad_workloads::kv::{generate_history, oracle_apply, KvFleet, KvSpec, Model};
 use triad_workloads::{build_workload, WorkloadEnv};
 
 /// One (workload, scheme) cell of the matrix.
@@ -100,6 +104,74 @@ fn run_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) 
     }
 }
 
+/// A KV cell: drives the `triad-kv` fleet directly on `SecureMemory`
+/// (no trace cores), measuring per-op latency from the engine clock.
+/// Its recovery column is stronger than the trace cells': after the
+/// crash the fleet is *reopened* — engine recovery plus per-shard redo
+/// log replay — and `recovered` is true only if the surviving state
+/// equals the in-DRAM oracle exactly. WriteBack is expected to fail
+/// that bar; that gap is the row's point.
+fn run_kv_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) -> Cell {
+    let spec = if workload == "kv-zipf" {
+        KvSpec::report_zipf(ops)
+    } else {
+        KvSpec::report_uniform(ops)
+    };
+    let history = generate_history(&spec, seed);
+    let mut mem = SecureMemoryBuilder::new()
+        .config(report_config())
+        .scheme(scheme)
+        .key_seed(seed)
+        .build()
+        .expect("report config is valid");
+    let mut fleet = KvFleet::create(&mut mem, &spec).expect("fleet create");
+    let mut oracle = Model::new();
+    let mut latency = Histogram::new();
+    let t0 = mem.now();
+    for op in &history {
+        let start = mem.now();
+        fleet.apply(&mut mem, op).expect("clean KV run");
+        oracle_apply(&mut oracle, op);
+        latency.record(mem.now().since(start).as_ns());
+    }
+    let elapsed = mem.now().since(t0).as_secs_f64();
+    let stats = mem.stats();
+    let mem_stats = mem.mem_stats();
+
+    mem.crash();
+    let (recovered, recovery_blocks_read, recovery_ns) = match KvFleet::recover(&mut mem) {
+        Ok((mut reopened, report)) => (
+            report.persistent_recovered
+                && reopened
+                    .dump(&mut mem)
+                    .map(|state| state == oracle)
+                    .unwrap_or(false),
+            report.persistent_blocks_read + report.non_persistent_blocks_read,
+            report.estimated_duration.as_ns(),
+        ),
+        Err(_) => (false, 0, 0),
+    };
+
+    Cell {
+        workload,
+        scheme,
+        ops: history.len() as u64,
+        throughput: if elapsed > 0.0 {
+            history.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency,
+        nvm_writes: mem_stats.writes,
+        persist_metadata_writes: stats.persist_metadata_writes(),
+        evict_metadata_writes: stats.evict_metadata_writes(),
+        wpq_full_events: mem_stats.wpq_full_events,
+        recovered,
+        recovery_blocks_read,
+        recovery_ns,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -110,7 +182,7 @@ fn render_json(cells: &[Cell], ops: u64, seed: u64, smoke: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"report\": \"triad-report\",");
-    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"version\": 2,");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"ops_per_core\": {ops},");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
@@ -185,7 +257,7 @@ fn print_table(cells: &[Cell]) {
 fn main() {
     let mut smoke = false;
     let mut ops: Option<u64> = None;
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
     let mut seed: u64 = 42;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -210,9 +282,11 @@ fn main() {
     // The fixed matrix: the PMDK persistent structures plus the four
     // MIX workloads, i.e. every trace with a persistent-store component
     // (pure SPEC lanes exercise no persists and tell the schemes apart
-    // far less).
+    // far less) — plus the two triad-kv fleet rows (`kv-zipf`,
+    // `kv-uniform`), which are driven through `run_kv_cell` and carry
+    // the oracle-verified recovery column.
     let workloads: &[&'static str] = if smoke {
-        &["hashtable", "mix1"]
+        &["hashtable", "mix1", "kv-zipf"]
     } else {
         &[
             "hashtable",
@@ -222,6 +296,8 @@ fn main() {
             "mix2",
             "mix3",
             "mix4",
+            "kv-zipf",
+            "kv-uniform",
         ]
     };
     let ops = ops.unwrap_or(if smoke { 800 } else { 4000 });
@@ -229,7 +305,11 @@ fn main() {
     let mut cells = Vec::new();
     for w in workloads {
         for s in schemes() {
-            cells.push(run_cell(w, s, ops, seed));
+            cells.push(if w.starts_with("kv-") {
+                run_kv_cell(w, s, ops, seed)
+            } else {
+                run_cell(w, s, ops, seed)
+            });
         }
     }
 

@@ -422,6 +422,9 @@ pub struct SecureMemory {
     /// Test hook: crash after this many further WPQ copies inside
     /// atomic persists.
     crash_after_wpq_writes: Option<u64>,
+    /// Test hook: crash instead of performing the n-th further
+    /// durability point (persist/flush write-back, epoch member flush).
+    crash_after_persists: Option<u64>,
 }
 
 impl SecureMemory {
@@ -459,6 +462,7 @@ impl SecureMemory {
             evict_queue: Vec::new(),
             epoch: None,
             crash_after_wpq_writes: None,
+            crash_after_persists: None,
             config,
             map,
             scheme,
@@ -583,6 +587,44 @@ impl SecureMemory {
     /// next one). Used by crash-consistency tests.
     pub fn inject_crash_after_wpq_writes(&mut self, n: u64) {
         self.crash_after_wpq_writes = Some(n);
+    }
+
+    /// Arms the persist-boundary crash hook: the engine will crash
+    /// *instead of* performing the `n`-th further durability point
+    /// (0 = the very next one). A durability point is a data
+    /// write-back that would make a block durable: a non-epoch
+    /// [`SecureMemory::persist_block`], a dirty
+    /// [`SecureMemory::flush_block`], or one deferred member flush
+    /// inside [`SecureMemory::end_epoch`]. Used by crash-consistency
+    /// drivers that enumerate every boundary of a fixed history (the
+    /// KV crash-equivalence suite).
+    pub fn inject_crash_after_persists(&mut self, n: u64) {
+        self.crash_after_persists = Some(n);
+    }
+
+    /// Consumes one durability point from the persist-boundary crash
+    /// hook. Returns `true` when the armed crash fired: the engine is
+    /// already in the crashed state and the caller must abandon the
+    /// persist and surface [`SecureMemoryError::NeedsRecovery`].
+    fn persist_boundary_crash(&mut self, now: Time) -> bool {
+        match self.crash_after_persists {
+            Some(0) => {
+                self.crash_after_persists = None;
+                emit(
+                    &self.events,
+                    now,
+                    "crash",
+                    &[("injected", true.into()), ("at", "persist_boundary".into())],
+                );
+                self.crash();
+                true
+            }
+            Some(left) => {
+                self.crash_after_persists = Some(left - 1);
+                false
+            }
+            None => false,
+        }
     }
 
     /// The internal clock of the convenience (untimed) API.
@@ -1523,6 +1565,9 @@ impl SecureMemory {
                 .record(done.since(now).as_ns());
             return Ok(done);
         }
+        if self.persist_boundary_crash(now) {
+            return Err(SecureMemoryError::NeedsRecovery);
+        }
         let t = self.writeback_data(block, data, now + self.l3.latency(), true)?;
         self.l3.flush(block);
         self.drain_evictions(now)?;
@@ -1566,6 +1611,9 @@ impl SecureMemory {
             // The block may have been cleanly evicted (already durable)
             // or overwritten; flush whatever is dirty on chip.
             if self.l3.probe_dirty(block) {
+                if self.persist_boundary_crash(now) {
+                    return Err(SecureMemoryError::NeedsRecovery);
+                }
                 let plaintext = self
                     .plain
                     .get(&block.0)
@@ -1597,6 +1645,9 @@ impl SecureMemory {
             return Ok(now + self.l3.latency());
         }
         self.stats.persists += 1;
+        if self.persist_boundary_crash(now) {
+            return Err(SecureMemoryError::NeedsRecovery);
+        }
         let plaintext = self
             .plain
             .get(&block.0)

@@ -20,6 +20,38 @@ pub struct CorruptRange {
     pub bytes: u64,
 }
 
+/// Work performed replaying an application-level redo log (the
+/// `triad-kv` write-ahead log) after the engine's own BMT/counter
+/// recovery. The engine never fills this in itself — log replay is an
+/// application-layer protocol — but it belongs on the report so one
+/// artifact describes the full cost of coming back from a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogReplayStats {
+    /// Log records scanned (write records and commit markers).
+    pub records_scanned: u64,
+    /// Committed transactions whose effects were (re)applied.
+    pub txns_applied: u64,
+    /// Individual block writes applied while replaying those
+    /// transactions.
+    pub writes_applied: u64,
+    /// Records discarded as uncommitted, stale, or torn.
+    pub records_discarded: u64,
+    /// Whether the scan ended on a torn record (a crash mid-append)
+    /// rather than on a clean log end.
+    pub torn_tail: bool,
+}
+
+impl LogReplayStats {
+    /// Accumulates another shard's replay stats into this one.
+    pub fn merge(&mut self, other: &LogReplayStats) {
+        self.records_scanned += other.records_scanned;
+        self.txns_applied += other.txns_applied;
+        self.writes_applied += other.writes_applied;
+        self.records_discarded += other.records_discarded;
+        self.torn_tail |= other.torn_tail;
+    }
+}
+
 /// Outcome of [`SecureMemory::recover`](crate::engine::SecureMemory::recover).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
@@ -44,6 +76,10 @@ pub struct RecoveryReport {
     pub corrupt_metadata: Vec<(u8, u64)>,
     /// The new session counter.
     pub session: u32,
+    /// Application-level redo-log replay performed on top of this
+    /// recovery (`None` when no log replay ran; filled in by e.g.
+    /// `triad_kv`'s store-open path).
+    pub log_replay: Option<LogReplayStats>,
 }
 
 /// The paper's recovery-time accounting: 100 ns to read one tree block

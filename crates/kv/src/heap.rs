@@ -12,6 +12,17 @@
 //! Every mutation follows the PMDK discipline: store, `clwb`, `sfence`
 //! — which the simulator models as [`SecureMemory::persist`] — so the
 //! full Triad-NVM metadata machinery is exercised on every step.
+//!
+//! ## Allocation crash-safety
+//!
+//! [`PersistentHeap::alloc_blocks`] persists the advanced cursor
+//! *before* returning, so an address is only ever handed out once:
+//! a crash can never lead to double-allocation. The converse hazard —
+//! a crash after the cursor persist but before the caller persists any
+//! payload — at worst *leaks* the allocated blocks (the bump cursor
+//! stays advanced, nothing points at the blocks, and they are never
+//! reused, so they still read as zeros). That is the documented,
+//! regression-pinned behavior: leak-on-crash, never reuse-on-crash.
 
 use std::error::Error;
 use std::fmt;
@@ -77,6 +88,13 @@ const HDR_ROOT: usize = 16;
 const HDR_COMMIT: usize = 24;
 const HDR_LOG_LEN: usize = 32;
 
+/// Little-endian u64 at `off` of a block buffer.
+fn read_u64(buf: &[u8; BLOCK_BYTES], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
 impl PersistentHeap {
     fn header_addr(&self) -> PhysAddr {
         self.base
@@ -100,7 +118,7 @@ impl PersistentHeap {
     }
 
     fn header_u64(hdr: &[u8; BLOCK_BYTES], off: usize) -> u64 {
-        u64::from_le_bytes(hdr[off..off + 8].try_into().expect("8 bytes"))
+        read_u64(hdr, off)
     }
 
     fn write_header_u64(&self, mem: &mut SecureMemory, off: usize, value: u64) -> Result<()> {
@@ -151,7 +169,7 @@ impl PersistentHeap {
             let len = Self::header_u64(&hdr, HDR_LOG_LEN) as usize;
             for i in 0..len.min(LOG_ENTRIES) {
                 let meta = mem.read(heap.log_addr(i, 0))?;
-                let target = PhysAddr(u64::from_le_bytes(meta[..8].try_into().expect("8 bytes")));
+                let target = PhysAddr(read_u64(&meta, 0));
                 let payload = mem.read(heap.log_addr(i, 1))?;
                 mem.write(target, &payload)?;
                 mem.persist(target)?;
@@ -166,11 +184,17 @@ impl PersistentHeap {
     ///
     /// # Errors
     ///
-    /// [`HeapError::OutOfSpace`] when the data area is exhausted.
+    /// [`HeapError::OutOfSpace`] when the data area is exhausted (the
+    /// bound check uses checked arithmetic, so an absurd `blocks` count
+    /// cannot wrap past the capacity in release builds).
     pub fn alloc_blocks(&self, mem: &mut SecureMemory, blocks: u64) -> Result<PhysAddr> {
         let hdr = self.read_header(mem)?;
         let cursor = Self::header_u64(&hdr, HDR_CURSOR);
-        if (cursor + blocks) * 64 > self.capacity_bytes() {
+        let end_bytes = cursor
+            .checked_add(blocks)
+            .and_then(|b| b.checked_mul(64))
+            .ok_or(HeapError::OutOfSpace)?;
+        if end_bytes > self.capacity_bytes() {
             return Err(HeapError::OutOfSpace);
         }
         self.write_header_u64(mem, HDR_CURSOR, cursor + blocks)?;
@@ -284,6 +308,24 @@ mod tests {
     }
 
     #[test]
+    fn absurd_alloc_cannot_overflow_the_bound_check() {
+        // Regression: `(cursor + blocks) * 64` wrapped in release builds
+        // for huge counts, letting the bound check pass and the cursor
+        // advance past the data area. Checked arithmetic must reject it.
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        for blocks in [u64::MAX, u64::MAX / 2, u64::MAX / 64 + 1] {
+            assert_eq!(
+                h.alloc_blocks(&mut m, blocks).unwrap_err(),
+                HeapError::OutOfSpace
+            );
+        }
+        // The cursor must be untouched by the rejected calls.
+        let a = h.alloc_blocks(&mut m, 1).unwrap();
+        assert_eq!(a, h.data_base());
+    }
+
+    #[test]
     fn transaction_applies_all_writes() {
         let mut m = mem();
         let h = PersistentHeap::format(&mut m).unwrap();
@@ -368,6 +410,84 @@ mod tests {
         m.recover().unwrap();
         let h = PersistentHeap::open(&mut m).unwrap();
         assert_eq!(h.root(&mut m).unwrap(), 0xFEED);
+    }
+
+    // ----- allocation crash-safety pins (issue-4 satellite audit) -----
+
+    #[test]
+    fn crash_during_cursor_persist_loses_the_allocation_cleanly() {
+        // The crash fires *instead of* the cursor write-back: the
+        // allocation never becomes durable, the caller sees the crash,
+        // and after recovery the same address is handed out again — no
+        // leak, no double-allocation, because the failed call never
+        // returned an address.
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, 1).unwrap();
+        m.inject_crash_after_persists(0);
+        assert_eq!(
+            h.alloc_blocks(&mut m, 1).unwrap_err(),
+            HeapError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let b = h.alloc_blocks(&mut m, 1).unwrap();
+        assert_eq!(b.0, a.0 + 64, "lost allocation must be reissued");
+    }
+
+    #[test]
+    fn crash_between_cursor_persist_and_payload_persist_never_reuses() {
+        // The documented hazard: the cursor persist succeeded (the
+        // allocation is durable) but the caller crashed before
+        // persisting any payload. The blocks are leaked — the next
+        // allocation must NOT hand them out again — and they still read
+        // as zeros (fresh NVM, bump allocator never reuses).
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        // Boundary 0 = the cursor write-back of this alloc; boundary 1
+        // = the payload persist below. Let the first through, crash on
+        // the second.
+        m.inject_crash_after_persists(1);
+        let a = h.alloc_blocks(&mut m, 1).unwrap();
+        m.write(a, &[0xAB; 64]).unwrap();
+        assert_eq!(
+            m.persist(a).unwrap_err(),
+            SecureMemoryError::NeedsRecovery,
+            "payload persist must hit the injected crash"
+        );
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let b = h.alloc_blocks(&mut m, 1).unwrap();
+        assert_eq!(b.0, a.0 + 64, "leaked block must never be reallocated");
+        assert_eq!(m.read(a).unwrap(), [0; 64], "leaked block reads as zeros");
+    }
+
+    #[test]
+    fn crash_mid_wpq_during_cursor_persist_keeps_the_cursor_atomic() {
+        // A crash in the middle of the cursor's own atomic persist
+        // (between WPQ copies) is replayed from the persistent
+        // registers at recovery: the cursor update is all-or-nothing,
+        // so the post-recovery cursor is either the old or the new
+        // value — never a torn mix — and a reissued allocation never
+        // overlaps one that a *completed* call returned.
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let a = h.alloc_blocks(&mut m, 1).unwrap();
+        m.inject_crash_after_wpq_writes(1);
+        let crashed = h.alloc_blocks(&mut m, 1);
+        assert_eq!(
+            crashed.unwrap_err(),
+            HeapError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let b = h.alloc_blocks(&mut m, 1).unwrap();
+        assert!(
+            b.0 == a.0 + 64 || b.0 == a.0 + 128,
+            "cursor must be old-or-new, got base {:#x} vs first alloc {:#x}",
+            b.0,
+            a.0
+        );
     }
 }
 

@@ -1,0 +1,765 @@
+//! The [`KvStore`]: open/put/get/delete/scan over an on-NVM bucket
+//! index, with redo-logged crash-atomic mutations.
+//!
+//! ## On-NVM layout
+//!
+//! One heap allocation per store shard, laid out as
+//!
+//! ```text
+//! superblock (1 block) | bucket blocks (buckets/8) | log blocks
+//! ```
+//!
+//! * **superblock**: magic, bucket count, bucket base, log base, log
+//!   length — all little-endian u64s in one block.
+//! * **bucket blocks**: 8 head pointers per block; `0` = empty chain.
+//! * **entries**: allocated from the heap on demand. Block 0 holds
+//!   `key @0 | next @8 | vlen @16 | first 40 value bytes @24`;
+//!   longer values continue in the immediately following raw blocks.
+//!
+//! ## Mutation protocol
+//!
+//! Every put/delete computes its full write set (new entry blocks plus
+//! the one pointer block that links them in), then runs
+//! `log_append → log_commit → apply_writes → rewind`: redo records
+//! first, the checksummed commit marker as the durability point, the
+//! in-place apply after. The `persist-order` lint enforces that call
+//! order structurally. Old entry blocks are leaked on overwrite and
+//! delete — the bump allocator never reuses space, which is exactly
+//! what makes torn in-place updates impossible.
+
+use std::collections::BTreeMap;
+
+use triad_core::{LogReplayStats, RecoveryReport, SecureMemory};
+use triad_crypto::SipHash24;
+use triad_sim::events::{emit, kind, SharedEventSink};
+use triad_sim::stats::{Scope, StatRegister};
+use triad_sim::{PhysAddr, BLOCK_BYTES};
+
+use crate::heap::PersistentHeap;
+use crate::log::RedoLog;
+use crate::{KvError, Result};
+
+/// Superblock magic ("TRIADKV1").
+const KV_MAGIC: u64 = u64::from_le_bytes(*b"TRIADKV1");
+
+const SB_MAGIC: usize = 0;
+const SB_BUCKETS: usize = 8;
+const SB_BUCKET_BASE: usize = 16;
+const SB_LOG_BASE: usize = 24;
+const SB_LOG_BLOCKS: usize = 32;
+
+/// Entry block 0 layout offsets.
+const ENT_KEY: usize = 0;
+const ENT_NEXT: usize = 8;
+const ENT_VLEN: usize = 16;
+const ENT_INLINE: usize = 24;
+/// Value bytes inline in entry block 0.
+const INLINE_BYTES: usize = BLOCK_BYTES - ENT_INLINE;
+
+fn read_u64(buf: &[u8; BLOCK_BYTES], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Sizing of a freshly created store shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Hash-bucket count (rounded up to a multiple of 8, min 8).
+    pub buckets: u64,
+    /// Write-ahead-log length in 64-B blocks (min 8).
+    pub log_blocks: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            buckets: 64,
+            log_blocks: 64,
+        }
+    }
+}
+
+/// Operation counters of one store shard; registered under the scope
+/// the embedder chooses (the report harness uses `kv`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Completed `put` transactions.
+    pub puts: u64,
+    /// `get` calls.
+    pub gets: u64,
+    /// `get` calls that found the key.
+    pub get_hits: u64,
+    /// `delete` calls.
+    pub deletes: u64,
+    /// `delete` calls that removed a key.
+    pub delete_hits: u64,
+    /// `scan` calls.
+    pub scans: u64,
+    /// Committed write-ahead-log transactions.
+    pub txns_committed: u64,
+    /// Write records appended to the log.
+    pub log_records: u64,
+}
+
+impl StatRegister for KvStats {
+    fn register(&self, scope: &mut Scope<'_>) {
+        scope.set("puts", self.puts);
+        scope.set("gets", self.gets);
+        scope.set("get_hits", self.get_hits);
+        scope.set("deletes", self.deletes);
+        scope.set("delete_hits", self.delete_hits);
+        scope.set("scans", self.scans);
+        scope.set("txns_committed", self.txns_committed);
+        scope.set("log_records", self.log_records);
+    }
+}
+
+/// Where the pointer to a chain entry lives: a block address plus the
+/// byte offset of the 8-byte pointer inside it (a bucket slot or a
+/// predecessor entry's `next` field).
+type Holder = (PhysAddr, usize);
+
+/// A chain hit: the holder that points at the entry, the entry's block
+/// 0 address, and the entry's own `next` pointer.
+struct ChainHit {
+    holder: Holder,
+    entry: PhysAddr,
+    next: u64,
+}
+
+/// One crash-consistent KV store shard on the secure memory.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    heap: PersistentHeap,
+    superblock: PhysAddr,
+    buckets: u64,
+    bucket_base: PhysAddr,
+    log: RedoLog,
+    next_seq: u64,
+    stats: KvStats,
+    events: Option<SharedEventSink>,
+}
+
+impl KvStore {
+    /// Creates a fresh store shard: allocates the superblock, bucket
+    /// index, and log from `heap`, and persists the superblock. The
+    /// caller owns publishing the returned [`KvStore::superblock`]
+    /// address (heap root, directory block, …).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Heap`] when the heap cannot fit the shard.
+    pub fn create(mem: &mut SecureMemory, heap: PersistentHeap, cfg: KvConfig) -> Result<KvStore> {
+        let buckets = cfg.buckets.max(8).div_ceil(8) * 8;
+        let log_blocks = cfg.log_blocks.max(8);
+        let bucket_blocks = buckets / 8;
+        let base = heap.alloc_blocks(mem, 1 + bucket_blocks + log_blocks)?;
+        let bucket_base = PhysAddr(base.0 + BLOCK_BYTES as u64);
+        let log_base = PhysAddr(bucket_base.0 + bucket_blocks * BLOCK_BYTES as u64);
+        // Bucket and log blocks are freshly allocated and therefore
+        // all-zero (the bump allocator never reuses space): empty
+        // chains and a clean log need no initialisation writes.
+        let mut sb = [0u8; BLOCK_BYTES];
+        sb[SB_MAGIC..SB_MAGIC + 8].copy_from_slice(&KV_MAGIC.to_le_bytes());
+        sb[SB_BUCKETS..SB_BUCKETS + 8].copy_from_slice(&buckets.to_le_bytes());
+        sb[SB_BUCKET_BASE..SB_BUCKET_BASE + 8].copy_from_slice(&bucket_base.0.to_le_bytes());
+        sb[SB_LOG_BASE..SB_LOG_BASE + 8].copy_from_slice(&log_base.0.to_le_bytes());
+        sb[SB_LOG_BLOCKS..SB_LOG_BLOCKS + 8].copy_from_slice(&log_blocks.to_le_bytes());
+        mem.write(base, &sb)?;
+        mem.persist(base)?;
+        Ok(KvStore {
+            heap,
+            superblock: base,
+            buckets,
+            bucket_base,
+            log: RedoLog::new(log_base, log_blocks),
+            next_seq: 1,
+            stats: KvStats::default(),
+            events: None,
+        })
+    }
+
+    /// Opens an existing shard at `superblock`, replaying the
+    /// write-ahead log (idempotent redo). Returns the replay stats so
+    /// recovery can account the work — see [`recover_store`].
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotAStore`] when the superblock magic is absent.
+    pub fn open(
+        mem: &mut SecureMemory,
+        heap: PersistentHeap,
+        superblock: PhysAddr,
+    ) -> Result<(KvStore, LogReplayStats)> {
+        Self::open_with_events(mem, heap, superblock, None)
+    }
+
+    /// [`KvStore::open`] with an event sink attached before replay, so
+    /// the [`triad_sim::events::kind::KV_REPLAY`] record lands in the
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`KvStore::open`].
+    pub fn open_with_events(
+        mem: &mut SecureMemory,
+        heap: PersistentHeap,
+        superblock: PhysAddr,
+        events: Option<SharedEventSink>,
+    ) -> Result<(KvStore, LogReplayStats)> {
+        let sb = mem.read(superblock)?;
+        if read_u64(&sb, SB_MAGIC) != KV_MAGIC {
+            return Err(KvError::NotAStore);
+        }
+        let buckets = read_u64(&sb, SB_BUCKETS);
+        let bucket_base = PhysAddr(read_u64(&sb, SB_BUCKET_BASE));
+        let log_base = PhysAddr(read_u64(&sb, SB_LOG_BASE));
+        let log_blocks = read_u64(&sb, SB_LOG_BLOCKS);
+        let mut log = RedoLog::new(log_base, log_blocks);
+        let (replay, max_seq) = log.replay(mem)?;
+        emit(
+            &events,
+            mem.now(),
+            kind::KV_REPLAY,
+            &[
+                ("records_scanned", replay.records_scanned.into()),
+                ("txns_applied", replay.txns_applied.into()),
+                ("torn_tail", replay.torn_tail.into()),
+            ],
+        );
+        let store = KvStore {
+            heap,
+            superblock,
+            buckets,
+            bucket_base,
+            log,
+            next_seq: max_seq + 1,
+            stats: KvStats::default(),
+            events,
+        };
+        Ok((store, replay))
+    }
+
+    /// The shard's superblock address (what `open` needs back).
+    pub fn superblock(&self) -> PhysAddr {
+        self.superblock
+    }
+
+    /// Operation counters accumulated since open/create.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    /// Attaches a structured-event sink (see [`triad_sim::events`]).
+    pub fn set_event_sink(&mut self, sink: SharedEventSink) {
+        self.events = Some(sink);
+    }
+
+    /// The largest value length a single put can log, given the log
+    /// size chosen at create time.
+    pub fn max_value_bytes(&self) -> usize {
+        // A put logs `entry_blocks + 1` write records (2 blocks each)
+        // plus the commit marker.
+        let budget = (self.log.capacity_blocks().saturating_sub(1) / 2).saturating_sub(1);
+        if budget == 0 {
+            return 0;
+        }
+        INLINE_BYTES + (budget as usize - 1) * BLOCK_BYTES
+    }
+
+    fn entry_blocks(vlen: usize) -> u64 {
+        1 + vlen.saturating_sub(INLINE_BYTES).div_ceil(BLOCK_BYTES) as u64
+    }
+
+    /// The bucket slot (block address + byte offset) for `key`.
+    fn slot_of(&self, key: u64) -> Holder {
+        let bucket = SipHash24::new(*b"triad-kv buckets").hash_words(&[key]) % self.buckets;
+        let addr = PhysAddr(self.bucket_base.0 + (bucket / 8) * BLOCK_BYTES as u64);
+        (addr, (bucket % 8) as usize * 8)
+    }
+
+    /// Walks the chain from `key`'s bucket. Returns the chain head and,
+    /// when the key exists, its [`ChainHit`].
+    fn find(&self, mem: &mut SecureMemory, key: u64) -> Result<(u64, Option<ChainHit>)> {
+        let slot = self.slot_of(key);
+        let head = read_u64(&mem.read(slot.0)?, slot.1);
+        let mut holder = slot;
+        let mut ptr = head;
+        while ptr != 0 {
+            let block0 = mem.read(PhysAddr(ptr))?;
+            let next = read_u64(&block0, ENT_NEXT);
+            if read_u64(&block0, ENT_KEY) == key {
+                return Ok((
+                    head,
+                    Some(ChainHit {
+                        holder,
+                        entry: PhysAddr(ptr),
+                        next,
+                    }),
+                ));
+            }
+            holder = (PhysAddr(ptr), ENT_NEXT);
+            ptr = next;
+        }
+        Ok((head, None))
+    }
+
+    /// Reads the value of the entry whose block 0 is at `entry`.
+    fn read_value(&self, mem: &mut SecureMemory, entry: PhysAddr) -> Result<Vec<u8>> {
+        let block0 = mem.read(entry)?;
+        let vlen = read_u64(&block0, ENT_VLEN) as usize;
+        let mut out = Vec::with_capacity(vlen);
+        out.extend_from_slice(&block0[ENT_INLINE..ENT_INLINE + vlen.min(INLINE_BYTES)]);
+        let mut next_block = 1u64;
+        while out.len() < vlen {
+            let addr = PhysAddr(entry.0 + next_block * BLOCK_BYTES as u64);
+            let block = mem.read(addr)?;
+            let take = (vlen - out.len()).min(BLOCK_BYTES);
+            out.extend_from_slice(&block[..take]);
+            next_block += 1;
+        }
+        Ok(out)
+    }
+
+    /// Appends redo records for every write of the transaction.
+    fn log_append(
+        &mut self,
+        mem: &mut SecureMemory,
+        seq: u64,
+        writes: &[(PhysAddr, [u8; BLOCK_BYTES])],
+    ) -> Result<()> {
+        for (target, payload) in writes {
+            self.log.append_write(mem, seq, *target, payload)?;
+            self.stats.log_records += 1;
+        }
+        Ok(())
+    }
+
+    /// Persists the commit marker: the transaction's durability point.
+    fn log_commit(&mut self, mem: &mut SecureMemory, seq: u64, count: u64) -> Result<()> {
+        self.log.append_commit(mem, seq, count)?;
+        self.stats.txns_committed += 1;
+        emit(
+            &self.events,
+            mem.now(),
+            kind::KV_TXN_COMMIT,
+            &[("seq", seq.into()), ("writes", count.into())],
+        );
+        Ok(())
+    }
+
+    /// Applies the committed write set in place.
+    fn apply_writes(
+        &mut self,
+        mem: &mut SecureMemory,
+        writes: &[(PhysAddr, [u8; BLOCK_BYTES])],
+    ) -> Result<()> {
+        for (target, payload) in writes {
+            mem.write(*target, payload)?;
+            mem.persist(*target)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces `key`, durably. The full redo transaction —
+    /// new entry blocks plus the one pointer that links them in — is
+    /// applied all-or-nothing; a crash anywhere leaves either the old
+    /// or the new value visible after recovery, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::ValueTooLarge`] when the value exceeds
+    /// [`KvStore::max_value_bytes`]; heap/memory errors otherwise.
+    pub fn put(&mut self, mem: &mut SecureMemory, key: u64, value: &[u8]) -> Result<()> {
+        if value.len() > self.max_value_bytes() {
+            return Err(KvError::ValueTooLarge {
+                len: value.len(),
+                max: self.max_value_bytes(),
+            });
+        }
+        let (head, found) = self.find(mem, key)?;
+        let n_blocks = Self::entry_blocks(value.len());
+        let base = self.heap.alloc_blocks(mem, n_blocks)?;
+
+        let mut writes: Vec<(PhysAddr, [u8; BLOCK_BYTES])> =
+            Vec::with_capacity(n_blocks as usize + 1);
+        let next = found.as_ref().map_or(head, |f| f.next);
+        let mut block0 = [0u8; BLOCK_BYTES];
+        block0[ENT_KEY..ENT_KEY + 8].copy_from_slice(&key.to_le_bytes());
+        block0[ENT_NEXT..ENT_NEXT + 8].copy_from_slice(&next.to_le_bytes());
+        block0[ENT_VLEN..ENT_VLEN + 8].copy_from_slice(&(value.len() as u64).to_le_bytes());
+        let inline = value.len().min(INLINE_BYTES);
+        block0[ENT_INLINE..ENT_INLINE + inline].copy_from_slice(&value[..inline]);
+        writes.push((base, block0));
+        for (i, chunk) in value[inline..].chunks(BLOCK_BYTES).enumerate() {
+            let mut block = [0u8; BLOCK_BYTES];
+            block[..chunk.len()].copy_from_slice(chunk);
+            writes.push((
+                PhysAddr(base.0 + (i as u64 + 1) * BLOCK_BYTES as u64),
+                block,
+            ));
+        }
+        // The linking write: the bucket slot (fresh key) or whichever
+        // pointer led to the replaced entry (the old entry is unlinked
+        // and leaked).
+        let (haddr, hoff) = found
+            .as_ref()
+            .map_or_else(|| self.slot_of(key), |f| f.holder);
+        let mut hblock = mem.read(haddr)?;
+        hblock[hoff..hoff + 8].copy_from_slice(&base.0.to_le_bytes());
+        writes.push((haddr, hblock));
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log_append(mem, seq, &writes)?;
+        self.log_commit(mem, seq, writes.len() as u64)?;
+        self.apply_writes(mem, &writes)?;
+        self.log.rewind();
+        self.stats.puts += 1;
+        emit(
+            &self.events,
+            mem.now(),
+            kind::KV_PUT,
+            &[
+                ("key", key.into()),
+                ("vlen", value.len().into()),
+                ("seq", seq.into()),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Reads `key`'s value, if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn get(&mut self, mem: &mut SecureMemory, key: u64) -> Result<Option<Vec<u8>>> {
+        self.stats.gets += 1;
+        let (_, found) = self.find(mem, key)?;
+        match found {
+            Some(hit) => {
+                self.stats.get_hits += 1;
+                Ok(Some(self.read_value(mem, hit.entry)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Removes `key`, durably. Returns whether it was present. The
+    /// entry's blocks are leaked (bump allocator; see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap/memory errors.
+    pub fn delete(&mut self, mem: &mut SecureMemory, key: u64) -> Result<bool> {
+        self.stats.deletes += 1;
+        let (_, found) = self.find(mem, key)?;
+        let Some(hit) = found else {
+            emit(
+                &self.events,
+                mem.now(),
+                kind::KV_DELETE,
+                &[("key", key.into()), ("found", false.into())],
+            );
+            return Ok(false);
+        };
+        let (haddr, hoff) = hit.holder;
+        let mut hblock = mem.read(haddr)?;
+        hblock[hoff..hoff + 8].copy_from_slice(&hit.next.to_le_bytes());
+        let writes = [(haddr, hblock)];
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log_append(mem, seq, &writes)?;
+        self.log_commit(mem, seq, writes.len() as u64)?;
+        self.apply_writes(mem, &writes)?;
+        self.log.rewind();
+        self.stats.delete_hits += 1;
+        emit(
+            &self.events,
+            mem.now(),
+            kind::KV_DELETE,
+            &[
+                ("key", key.into()),
+                ("found", true.into()),
+                ("seq", seq.into()),
+            ],
+        );
+        Ok(true)
+    }
+
+    /// Returns every (key, value) pair, sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn scan(&mut self, mem: &mut SecureMemory) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.stats.scans += 1;
+        let mut out = BTreeMap::new();
+        let bucket_blocks = self.buckets / 8;
+        for b in 0..bucket_blocks {
+            let block = mem.read(PhysAddr(self.bucket_base.0 + b * BLOCK_BYTES as u64))?;
+            for slot in 0..8 {
+                let mut ptr = read_u64(&block, slot * 8);
+                while ptr != 0 {
+                    let entry = PhysAddr(ptr);
+                    let block0 = mem.read(entry)?;
+                    let key = read_u64(&block0, ENT_KEY);
+                    let value = self.read_value(mem, entry)?;
+                    out.insert(key, value);
+                    ptr = read_u64(&block0, ENT_NEXT);
+                }
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+}
+
+/// One-call crash recovery for a single-store heap: engine recovery,
+/// heap open (heap-level redo), store open (WAL replay), with the
+/// replay work merged into the returned [`RecoveryReport`] — the
+/// `log_replay` extension this crate adds to the report.
+///
+/// Expects the heap root to hold the store's superblock address (as
+/// `examples/kv_demo.rs` sets it up); multi-shard embedders do their
+/// own directory walk and merge instead.
+///
+/// # Errors
+///
+/// [`KvError::NotAStore`] when the heap root is unset or points at
+/// something that is not a superblock; recovery/heap errors otherwise.
+pub fn recover_store(mem: &mut SecureMemory) -> Result<(KvStore, RecoveryReport)> {
+    let mut report = mem.recover()?;
+    let heap = PersistentHeap::open(mem)?;
+    let root = heap.root(mem)?;
+    if root == 0 {
+        return Err(KvError::NotAStore);
+    }
+    let (store, replay) = KvStore::open(mem, heap, PhysAddr(root))?;
+    report.log_replay = Some(replay);
+    Ok((store, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_core::{PersistScheme, SecureMemoryBuilder, SecureMemoryError};
+    use triad_sim::events::EventSink;
+
+    fn mem() -> SecureMemory {
+        SecureMemoryBuilder::new()
+            .scheme(PersistScheme::triad_nvm(2))
+            .build()
+            .unwrap()
+    }
+
+    fn small() -> KvConfig {
+        KvConfig {
+            buckets: 16,
+            log_blocks: 32,
+        }
+    }
+
+    fn fresh(m: &mut SecureMemory) -> KvStore {
+        let heap = PersistentHeap::format(m).unwrap();
+        let kv = KvStore::create(m, heap, small()).unwrap();
+        heap.set_root(m, kv.superblock().0).unwrap();
+        kv
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        assert_eq!(kv.get(&mut m, 1).unwrap(), None);
+        kv.put(&mut m, 1, b"one").unwrap();
+        kv.put(&mut m, 2, b"two").unwrap();
+        assert_eq!(kv.get(&mut m, 1).unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(kv.get(&mut m, 2).unwrap().as_deref(), Some(&b"two"[..]));
+        assert!(kv.delete(&mut m, 1).unwrap());
+        assert!(!kv.delete(&mut m, 1).unwrap());
+        assert_eq!(kv.get(&mut m, 1).unwrap(), None);
+        assert_eq!(kv.get(&mut m, 2).unwrap().as_deref(), Some(&b"two"[..]));
+        let s = kv.stats();
+        assert_eq!((s.puts, s.deletes, s.delete_hits), (2, 2, 1));
+        assert_eq!(s.gets, 5);
+        assert_eq!(s.get_hits, 3);
+    }
+
+    #[test]
+    fn overwrite_replaces_in_place_in_the_chain() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        for k in 0..40u64 {
+            kv.put(&mut m, k, &k.to_le_bytes()).unwrap();
+        }
+        kv.put(&mut m, 17, b"replaced").unwrap();
+        assert_eq!(
+            kv.get(&mut m, 17).unwrap().as_deref(),
+            Some(&b"replaced"[..])
+        );
+        // Every other key is untouched.
+        for k in (0..40u64).filter(|&k| k != 17) {
+            assert_eq!(
+                kv.get(&mut m, k).unwrap().as_deref(),
+                Some(&k.to_le_bytes()[..])
+            );
+        }
+    }
+
+    #[test]
+    fn variable_size_values_round_trip() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        // 0 bytes, inline-exact, inline+1, multi-block, and max size.
+        let sizes = [0, 1, 40, 41, 104, 200, kv.max_value_bytes()];
+        for (k, &len) in sizes.iter().enumerate() {
+            let v: Vec<u8> = (0..len).map(|i| (i * 7 + k) as u8).collect();
+            kv.put(&mut m, k as u64, &v).unwrap();
+            assert_eq!(kv.get(&mut m, k as u64).unwrap().as_deref(), Some(&v[..]));
+        }
+        // Still intact after neighbours were written.
+        for (k, &len) in sizes.iter().enumerate() {
+            let v: Vec<u8> = (0..len).map(|i| (i * 7 + k) as u8).collect();
+            assert_eq!(kv.get(&mut m, k as u64).unwrap().as_deref(), Some(&v[..]));
+        }
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        let max = kv.max_value_bytes();
+        let v = vec![0u8; max + 1];
+        assert_eq!(
+            kv.put(&mut m, 1, &v).unwrap_err(),
+            KvError::ValueTooLarge { len: max + 1, max }
+        );
+        assert_eq!(kv.get(&mut m, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_returns_sorted_pairs() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        for k in [9u64, 3, 27, 1] {
+            kv.put(&mut m, k, &[k as u8]).unwrap();
+        }
+        kv.delete(&mut m, 27).unwrap();
+        let pairs = kv.scan(&mut m).unwrap();
+        assert_eq!(pairs, vec![(1, vec![1u8]), (3, vec![3u8]), (9, vec![9u8]),]);
+    }
+
+    #[test]
+    fn reopen_after_clean_crash_preserves_state() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 5, b"five").unwrap();
+        kv.put(&mut m, 6, b"six").unwrap();
+        kv.delete(&mut m, 5).unwrap();
+        m.crash();
+        let (mut kv, report) = recover_store(&mut m).unwrap();
+        assert!(report.persistent_recovered);
+        let replay = report.log_replay.unwrap();
+        // The last txn (the delete) is still in the log and re-applies
+        // idempotently.
+        assert_eq!(replay.txns_applied, 1);
+        assert!(!replay.torn_tail);
+        assert_eq!(kv.get(&mut m, 5).unwrap(), None);
+        assert_eq!(kv.get(&mut m, 6).unwrap().as_deref(), Some(&b"six"[..]));
+    }
+
+    #[test]
+    fn crash_between_commit_and_apply_redoes_the_txn() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"old").unwrap();
+        // The overwrite's durability points: heap cursor (1), 2 write
+        // records (4), commit marker (1); crash on the first in-place
+        // apply, i.e. boundary 6.
+        m.inject_crash_after_persists(6);
+        assert_eq!(
+            kv.put(&mut m, 1, b"new").unwrap_err(),
+            KvError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        let (mut kv, report) = recover_store(&mut m).unwrap();
+        let replay = report.log_replay.unwrap();
+        assert_eq!(replay.txns_applied, 1, "committed txn must be redone");
+        assert_eq!(kv.get(&mut m, 1).unwrap().as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn crash_before_commit_discards_the_txn() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"old").unwrap();
+        // Crash while appending redo records, before the commit marker.
+        m.inject_crash_after_persists(2);
+        assert_eq!(
+            kv.put(&mut m, 1, b"new").unwrap_err(),
+            KvError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        let (mut kv, report) = recover_store(&mut m).unwrap();
+        let replay = report.log_replay.unwrap();
+        assert_eq!(replay.txns_applied, 0);
+        assert_eq!(kv.get(&mut m, 1).unwrap().as_deref(), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn open_rejects_non_superblock() {
+        let mut m = mem();
+        let heap = PersistentHeap::format(&mut m).unwrap();
+        let junk = heap.alloc_blocks(&mut m, 1).unwrap();
+        assert_eq!(
+            KvStore::open(&mut m, heap, junk).unwrap_err(),
+            KvError::NotAStore
+        );
+        // recover_store with an unset root also refuses.
+        m.crash();
+        assert_eq!(recover_store(&mut m).unwrap_err(), KvError::NotAStore);
+    }
+
+    #[test]
+    fn events_are_emitted_for_mutations() {
+        use std::cell::RefCell;
+        use std::io::Write;
+        use std::rc::Rc;
+        struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        kv.set_event_sink(EventSink::shared(Box::new(SharedBuf(buf.clone()))));
+        kv.put(&mut m, 1, b"x").unwrap();
+        kv.delete(&mut m, 1).unwrap();
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        assert!(text.contains("\"event\":\"kv_put\""));
+        assert!(text.contains("\"event\":\"kv_txn_commit\""));
+        assert!(text.contains("\"event\":\"kv_delete\""));
+    }
+
+    #[test]
+    fn stats_register_exposes_every_counter() {
+        use triad_sim::stats::StatRegistry;
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"x").unwrap();
+        kv.scan(&mut m).unwrap();
+        let mut reg = StatRegistry::new();
+        kv.stats().register(&mut reg.scope("kv"));
+        assert_eq!(reg.counter("kv.puts"), 1);
+        assert_eq!(reg.counter("kv.scans"), 1);
+        assert_eq!(reg.counter("kv.txns_committed"), 1);
+        assert!(reg.counter("kv.log_records") >= 2);
+    }
+}

@@ -164,6 +164,22 @@ impl EventSink {
     }
 }
 
+/// Canonical names of cross-layer trace events. Emitters and trace
+/// consumers share this vocabulary instead of scattering string
+/// literals; the KV layer (`triad-kv`) is the first client.
+pub mod kind {
+    /// A KV put became durable (fields: `key`, `vlen`, `seq`).
+    pub const KV_PUT: &str = "kv_put";
+    /// A KV delete became durable (fields: `key`, `found`, `seq`).
+    pub const KV_DELETE: &str = "kv_delete";
+    /// A KV transaction's commit marker persisted (fields: `seq`,
+    /// `writes`).
+    pub const KV_TXN_COMMIT: &str = "kv_txn_commit";
+    /// A KV store replayed its write-ahead log at open (fields:
+    /// `records_scanned`, `txns_applied`, `torn_tail`).
+    pub const KV_REPLAY: &str = "kv_replay";
+}
+
 /// The handle components store: cheap to clone, absent by default.
 pub type SharedEventSink = Rc<RefCell<EventSink>>;
 

@@ -1,0 +1,630 @@
+//! Deterministic multi-shard driver for the `triad-kv` store, and the
+//! crash-equivalence check behind the PR-4 acceptance property.
+//!
+//! A [`KvSpec`] plus a seed fully determines an operation history
+//! ([`generate_history`]: SplitMix64 streams, Zipf or uniform keys,
+//! a configurable put/get/delete/scan mix). [`KvFleet`] runs that
+//! history against a fleet of store shards on one secure memory while
+//! the caller maintains an in-DRAM oracle ([`oracle_apply`]).
+//!
+//! [`crash_equivalence_check`] is the heart: it replays *the same
+//! history* once cleanly to count persist boundaries, then once per
+//! boundary with [`SecureMemory::inject_crash_after_persists`] armed at
+//! that boundary — crash, recover, reopen (log replay), and require
+//! the surviving state to equal the oracle exactly. The only ambiguity
+//! a crash may leave is whether the in-flight operation committed; the
+//! check accepts exactly the pre-op or post-op oracle and nothing
+//! else.
+
+use std::collections::BTreeMap;
+
+use triad_core::{
+    CounterPersistence, PersistScheme, RecoveryReport, SecureMemory, SecureMemoryBuilder,
+    SecureMemoryError,
+};
+use triad_kv::heap::PersistentHeap;
+use triad_kv::{KvConfig, KvError, KvStore};
+use triad_sim::rng::SplitMix64;
+use triad_sim::{PhysAddr, BLOCK_BYTES};
+
+use crate::zipf::Zipf;
+
+/// Operation weights of a generated history (relative, not percent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvMix {
+    /// Weight of `put`.
+    pub put: u32,
+    /// Weight of `get`.
+    pub get: u32,
+    /// Weight of `delete`.
+    pub delete: u32,
+    /// Weight of `scan`.
+    pub scan: u32,
+}
+
+impl KvMix {
+    /// The crash-suite default: update-heavy so most ops hit the log.
+    pub fn balanced() -> Self {
+        KvMix {
+            put: 5,
+            get: 4,
+            delete: 2,
+            scan: 1,
+        }
+    }
+
+    /// The report mix: read-leaning, YCSB-B-flavoured.
+    pub fn read_heavy() -> Self {
+        KvMix {
+            put: 4,
+            get: 9,
+            delete: 2,
+            scan: 1,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.put + self.get + self.delete + self.scan
+    }
+}
+
+/// Everything that determines a KV history and its fleet geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvSpec {
+    /// Store shards (1..=7; the directory block holds 7 pointers).
+    pub shards: u64,
+    /// Operations in the history.
+    pub ops: u64,
+    /// Distinct keys per shard.
+    pub keyspace: usize,
+    /// Zipf skew for key choice; `None` = uniform.
+    pub zipf_s: Option<f64>,
+    /// Inclusive (min, max) value length in bytes.
+    pub value_len: (usize, usize),
+    /// Operation weights.
+    pub mix: KvMix,
+    /// Buckets per shard.
+    pub buckets: u64,
+    /// Log blocks per shard.
+    pub log_blocks: u64,
+}
+
+impl KvSpec {
+    /// The crash-equivalence suite geometry: small enough that
+    /// crash-at-every-boundary times four schemes stays fast, varied
+    /// enough (two shards, multi-block values, all four op kinds) to
+    /// exercise every protocol path.
+    pub fn small(ops: u64) -> Self {
+        KvSpec {
+            shards: 2,
+            ops,
+            keyspace: 12,
+            zipf_s: Some(0.9),
+            value_len: (1, 100),
+            mix: KvMix::balanced(),
+            buckets: 16,
+            log_blocks: 32,
+        }
+    }
+
+    /// [`KvSpec::small`] with uniform instead of Zipf keys.
+    pub fn small_uniform(ops: u64) -> Self {
+        KvSpec {
+            zipf_s: None,
+            ..KvSpec::small(ops)
+        }
+    }
+
+    /// The triad-report `kv-zipf` row: four shards, Zipf(0.99) keys.
+    pub fn report_zipf(ops: u64) -> Self {
+        KvSpec {
+            shards: 4,
+            ops,
+            keyspace: 256,
+            zipf_s: Some(0.99),
+            value_len: (8, 256),
+            mix: KvMix::read_heavy(),
+            buckets: 64,
+            log_blocks: 64,
+        }
+    }
+
+    /// The triad-report `kv-uniform` row.
+    pub fn report_uniform(ops: u64) -> Self {
+        KvSpec {
+            zipf_s: None,
+            ..KvSpec::report_zipf(ops)
+        }
+    }
+}
+
+/// One operation of a generated history. `tag` seeds the deterministic
+/// value bytes (see [`value_bytes`]), so the oracle and the store
+/// derive identical payloads without storing them in the history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert or replace `key` with `len` bytes derived from `tag`.
+    Put {
+        /// Target shard.
+        shard: u64,
+        /// Key within the shard.
+        key: u64,
+        /// Value length in bytes.
+        len: usize,
+        /// Seed of the value bytes.
+        tag: u64,
+    },
+    /// Point lookup.
+    Get {
+        /// Target shard.
+        shard: u64,
+        /// Key within the shard.
+        key: u64,
+    },
+    /// Point delete.
+    Delete {
+        /// Target shard.
+        shard: u64,
+        /// Key within the shard.
+        key: u64,
+    },
+    /// Full sorted scan of one shard.
+    Scan {
+        /// Target shard.
+        shard: u64,
+    },
+}
+
+/// The deterministic value payload for a put's `(tag, len)`.
+pub fn value_bytes(tag: u64, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    SplitMix64::new(tag ^ len as u64).fill_bytes(&mut out);
+    out
+}
+
+/// Generates the seeded operation history for `spec`.
+pub fn generate_history(spec: &KvSpec, seed: u64) -> Vec<KvOp> {
+    let mut rng = SplitMix64::stream(seed, 0x6b76_6f70_7321);
+    let zipf = spec.zipf_s.map(|s| Zipf::new(spec.keyspace, s));
+    let total = spec.mix.total().max(1) as u64;
+    let mut history = Vec::with_capacity(spec.ops as usize);
+    for _ in 0..spec.ops {
+        let shard = rng.below(spec.shards.max(1));
+        let key = match &zipf {
+            Some(z) => z.sample(&mut rng) as u64,
+            None => rng.below(spec.keyspace.max(1) as u64),
+        };
+        let r = rng.below(total) as u32;
+        let op = if r < spec.mix.put {
+            KvOp::Put {
+                shard,
+                key,
+                len: rng.gen_range_inclusive(spec.value_len.0 as u64..=spec.value_len.1 as u64)
+                    as usize,
+                tag: rng.next_u64(),
+            }
+        } else if r < spec.mix.put + spec.mix.get {
+            KvOp::Get { shard, key }
+        } else if r < spec.mix.put + spec.mix.get + spec.mix.delete {
+            KvOp::Delete { shard, key }
+        } else {
+            KvOp::Scan { shard }
+        };
+        history.push(op);
+    }
+    history
+}
+
+/// The in-DRAM oracle: `(shard, key) → value`.
+pub type Model = BTreeMap<(u64, u64), Vec<u8>>;
+
+/// Applies one op to the oracle (reads leave it unchanged).
+pub fn oracle_apply(model: &mut Model, op: &KvOp) {
+    match *op {
+        KvOp::Put {
+            shard,
+            key,
+            len,
+            tag,
+        } => {
+            model.insert((shard, key), value_bytes(tag, len));
+        }
+        KvOp::Delete { shard, key } => {
+            model.remove(&(shard, key));
+        }
+        KvOp::Get { .. } | KvOp::Scan { .. } => {}
+    }
+}
+
+/// What a fleet op returned, for read-verification against the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A put or delete completed.
+    Done,
+    /// A get returned this value (or absence).
+    Got(Option<Vec<u8>>),
+    /// A scan returned these sorted pairs.
+    Scanned(Vec<(u64, Vec<u8>)>),
+}
+
+/// A fleet of KV shards on one secure memory, published through a
+/// directory block at the heap root (`count @0`, shard superblock
+/// addresses `@8..`; at most 7 shards per block).
+#[derive(Debug)]
+pub struct KvFleet {
+    heap: PersistentHeap,
+    shards: Vec<KvStore>,
+}
+
+impl KvFleet {
+    fn shard_cfg(spec: &KvSpec) -> KvConfig {
+        KvConfig {
+            buckets: spec.buckets,
+            log_blocks: spec.log_blocks,
+        }
+    }
+
+    /// Formats the heap and creates `spec.shards` stores, publishing
+    /// the directory durably before returning.
+    ///
+    /// # Errors
+    ///
+    /// Heap/memory errors; shard counts above 7 are clamped.
+    pub fn create(mem: &mut SecureMemory, spec: &KvSpec) -> Result<KvFleet, KvError> {
+        let heap = PersistentHeap::format(mem)?;
+        let dir = heap.alloc_blocks(mem, 1)?;
+        let count = spec.shards.clamp(1, 7);
+        let mut shards = Vec::with_capacity(count as usize);
+        let mut dir_block = [0u8; BLOCK_BYTES];
+        dir_block[..8].copy_from_slice(&count.to_le_bytes());
+        for i in 0..count {
+            let store = KvStore::create(mem, heap, Self::shard_cfg(spec))?;
+            let off = 8 + i as usize * 8;
+            dir_block[off..off + 8].copy_from_slice(&store.superblock().0.to_le_bytes());
+            shards.push(store);
+        }
+        mem.write(dir, &dir_block)?;
+        mem.persist(dir)?;
+        heap.set_root(mem, dir.0)?;
+        Ok(KvFleet { heap, shards })
+    }
+
+    /// Opens an existing fleet, replaying every shard's log; returns
+    /// the merged replay stats.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotAStore`] when the heap root or directory is unset.
+    pub fn open(mem: &mut SecureMemory) -> Result<(KvFleet, triad_core::LogReplayStats), KvError> {
+        let heap = PersistentHeap::open(mem)?;
+        let root = heap.root(mem)?;
+        if root == 0 {
+            return Err(KvError::NotAStore);
+        }
+        let dir_block = mem.read(PhysAddr(root))?;
+        let mut count_bytes = [0u8; 8];
+        count_bytes.copy_from_slice(&dir_block[..8]);
+        let count = u64::from_le_bytes(count_bytes);
+        if count == 0 || count > 7 {
+            return Err(KvError::NotAStore);
+        }
+        let mut shards = Vec::with_capacity(count as usize);
+        let mut merged = triad_core::LogReplayStats::default();
+        for i in 0..count {
+            let off = 8 + i as usize * 8;
+            let mut sb = [0u8; 8];
+            sb.copy_from_slice(&dir_block[off..off + 8]);
+            let (store, replay) = KvStore::open(mem, heap, PhysAddr(u64::from_le_bytes(sb)))?;
+            merged.merge(&replay);
+            shards.push(store);
+        }
+        Ok((KvFleet { heap, shards }, merged))
+    }
+
+    /// Crash recovery in one call: engine recovery, then
+    /// [`KvFleet::open`], with the merged log-replay stats recorded on
+    /// the returned report (`log_replay`).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SecureMemory::recover`] and [`KvFleet::open`].
+    pub fn recover(mem: &mut SecureMemory) -> Result<(KvFleet, RecoveryReport), KvError> {
+        let mut report = mem.recover()?;
+        let (fleet, replay) = Self::open(mem)?;
+        report.log_replay = Some(replay);
+        Ok((fleet, report))
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fleet's backing heap (for allocator stats or extra roots).
+    pub fn heap(&self) -> PersistentHeap {
+        self.heap
+    }
+
+    /// Direct access to one shard (for stats/event wiring).
+    pub fn shard_mut(&mut self, i: usize) -> Option<&mut KvStore> {
+        self.shards.get_mut(i)
+    }
+
+    /// Applies one history op, returning what it read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (including the injected-crash
+    /// `NeedsRecovery`).
+    pub fn apply(&mut self, mem: &mut SecureMemory, op: &KvOp) -> Result<OpOutcome, KvError> {
+        let shard = |fleet: &mut KvFleet, s: u64| -> usize { s as usize % fleet.shards.len() };
+        match *op {
+            KvOp::Put {
+                shard: s,
+                key,
+                len,
+                tag,
+            } => {
+                let i = shard(self, s);
+                self.shards[i].put(mem, key, &value_bytes(tag, len))?;
+                Ok(OpOutcome::Done)
+            }
+            KvOp::Get { shard: s, key } => {
+                let i = shard(self, s);
+                Ok(OpOutcome::Got(self.shards[i].get(mem, key)?))
+            }
+            KvOp::Delete { shard: s, key } => {
+                let i = shard(self, s);
+                self.shards[i].delete(mem, key)?;
+                Ok(OpOutcome::Done)
+            }
+            KvOp::Scan { shard: s } => {
+                let i = shard(self, s);
+                Ok(OpOutcome::Scanned(self.shards[i].scan(mem)?))
+            }
+        }
+    }
+
+    /// The fleet's full state, oracle-shaped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn dump(&mut self, mem: &mut SecureMemory) -> Result<Model, KvError> {
+        let mut out = Model::new();
+        for (i, store) in self.shards.iter_mut().enumerate() {
+            for (key, value) in store.scan(mem)? {
+                out.insert((i as u64, key), value);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn build_mem(
+    scheme: PersistScheme,
+    counters: CounterPersistence,
+    seed: u64,
+) -> Result<SecureMemory, String> {
+    SecureMemoryBuilder::new()
+        .scheme(scheme)
+        .counter_persistence(counters)
+        .key_seed(seed)
+        .build()
+        .map_err(|e| format!("build: {e}"))
+}
+
+/// Verifies the read outcome of a cleanly-applied op against the
+/// oracle.
+fn check_read(op: &KvOp, outcome: &OpOutcome, oracle: &Model) -> Result<(), String> {
+    match (op, outcome) {
+        (KvOp::Get { shard, key }, OpOutcome::Got(got)) => {
+            let want = oracle.get(&(*shard, *key));
+            if got.as_ref() != want {
+                return Err(format!("get({shard},{key}) disagrees with the oracle"));
+            }
+        }
+        (KvOp::Scan { shard }, OpOutcome::Scanned(pairs)) => {
+            let want: Vec<(u64, Vec<u8>)> = oracle
+                .range((*shard, 0)..=(*shard, u64::MAX))
+                .map(|((_, k), v)| (*k, v.clone()))
+                .collect();
+            if *pairs != want {
+                return Err(format!("scan({shard}) disagrees with the oracle"));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// One crash run: same history, crash armed at persist boundary `k`
+/// (counted from the end of fleet creation). After the crash fires the
+/// run recovers, reopens the fleet, accepts exactly the pre-op or
+/// post-op oracle for the interrupted operation, finishes the history,
+/// and requires final state equality.
+fn run_with_crash(
+    scheme: PersistScheme,
+    counters: CounterPersistence,
+    spec: &KvSpec,
+    seed: u64,
+    history: &[KvOp],
+    k: u64,
+) -> Result<(), String> {
+    let ctx = |what: &str, idx: usize| format!("scheme {scheme}, boundary {k}, op {idx}: {what}");
+    let mut mem = build_mem(scheme, counters, seed)?;
+    let mut fleet = KvFleet::create(&mut mem, spec).map_err(|e| ctx(&format!("create: {e}"), 0))?;
+    mem.inject_crash_after_persists(k);
+    let mut oracle = Model::new();
+    let mut crashed = false;
+    for (idx, op) in history.iter().enumerate() {
+        let before = oracle.clone();
+        match fleet.apply(&mut mem, op) {
+            Ok(outcome) => {
+                oracle_apply(&mut oracle, op);
+                check_read(op, &outcome, &oracle).map_err(|e| ctx(&e, idx))?;
+            }
+            Err(KvError::Memory(SecureMemoryError::NeedsRecovery)) if !crashed => {
+                crashed = true;
+                let (reopened, report) = KvFleet::recover(&mut mem)
+                    .map_err(|e| ctx(&format!("recovery failed: {e}"), idx))?;
+                if !report.persistent_recovered {
+                    return Err(ctx("persistent region did not recover", idx));
+                }
+                fleet = reopened;
+                let state = fleet
+                    .dump(&mut mem)
+                    .map_err(|e| ctx(&format!("dump: {e}"), idx))?;
+                let mut after = before.clone();
+                oracle_apply(&mut after, op);
+                // The crashed op either committed or it didn't; any
+                // third state is a consistency violation.
+                if state == after {
+                    oracle = after;
+                } else if state == before {
+                    oracle = before;
+                } else {
+                    return Err(ctx(
+                        "post-recovery state matches neither the pre-op nor post-op oracle",
+                        idx,
+                    ));
+                }
+            }
+            Err(e) => return Err(ctx(&format!("{e}"), idx)),
+        }
+    }
+    if !crashed {
+        return Err(format!(
+            "scheme {scheme}, boundary {k}: armed crash never fired"
+        ));
+    }
+    let state = fleet
+        .dump(&mut mem)
+        .map_err(|e| format!("scheme {scheme}, boundary {k}: final dump: {e}"))?;
+    if state != oracle {
+        return Err(format!(
+            "scheme {scheme}, boundary {k}: final state diverges from the oracle"
+        ));
+    }
+    Ok(())
+}
+
+/// The PR-4 acceptance property for one (scheme, history): replays the
+/// seeded history cleanly (oracle equality required), then once per
+/// persist boundary with a crash injected at that boundary. Returns
+/// the number of boundaries exercised.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence, integrity
+/// failure, or recovery failure — formatted to include the scheme,
+/// boundary, and op index for reproduction.
+pub fn crash_equivalence_check(
+    scheme: PersistScheme,
+    counters: CounterPersistence,
+    spec: &KvSpec,
+    seed: u64,
+) -> Result<u64, String> {
+    let history = generate_history(spec, seed);
+    // Reference run: no crash; verify the oracle and count boundaries.
+    let mut mem = build_mem(scheme, counters, seed)?;
+    let mut fleet =
+        KvFleet::create(&mut mem, spec).map_err(|e| format!("scheme {scheme}: create: {e}"))?;
+    let base = mem.stats().persists;
+    let mut oracle = Model::new();
+    for (idx, op) in history.iter().enumerate() {
+        let outcome = fleet
+            .apply(&mut mem, op)
+            .map_err(|e| format!("scheme {scheme}, clean run, op {idx}: {e}"))?;
+        oracle_apply(&mut oracle, op);
+        check_read(op, &outcome, &oracle)
+            .map_err(|e| format!("scheme {scheme}, clean run, op {idx}: {e}"))?;
+    }
+    let state = fleet
+        .dump(&mut mem)
+        .map_err(|e| format!("scheme {scheme}, clean run: dump: {e}"))?;
+    if state != oracle {
+        return Err(format!(
+            "scheme {scheme}, clean run: state diverges from the oracle"
+        ));
+    }
+    let boundaries = mem.stats().persists - base;
+    for k in 0..boundaries {
+        run_with_crash(scheme, counters, spec, seed, &history, k)?;
+    }
+    Ok(boundaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_generation_is_deterministic_and_mixed() {
+        let spec = KvSpec::small(64);
+        let a = generate_history(&spec, 7);
+        let b = generate_history(&spec, 7);
+        assert_eq!(a, b);
+        let c = generate_history(&spec, 8);
+        assert_ne!(a, c, "different seeds must differ");
+        let puts = a.iter().filter(|o| matches!(o, KvOp::Put { .. })).count();
+        let gets = a.iter().filter(|o| matches!(o, KvOp::Get { .. })).count();
+        assert!(puts > 0 && gets > 0, "mix must produce both kinds");
+    }
+
+    #[test]
+    fn value_bytes_depend_on_tag_and_len() {
+        assert_eq!(value_bytes(1, 10), value_bytes(1, 10));
+        assert_ne!(value_bytes(1, 10), value_bytes(2, 10));
+        assert_eq!(value_bytes(1, 0).len(), 0);
+    }
+
+    #[test]
+    fn fleet_round_trip_matches_oracle() {
+        let spec = KvSpec::small(40);
+        let history = generate_history(&spec, 11);
+        let mut mem =
+            build_mem(PersistScheme::triad_nvm(2), CounterPersistence::Strict, 11).unwrap();
+        let mut fleet = KvFleet::create(&mut mem, &spec).unwrap();
+        assert_eq!(fleet.shard_count(), 2);
+        let mut oracle = Model::new();
+        for op in &history {
+            let outcome = fleet.apply(&mut mem, op).unwrap();
+            oracle_apply(&mut oracle, op);
+            check_read(op, &outcome, &oracle).unwrap();
+        }
+        assert_eq!(fleet.dump(&mut mem).unwrap(), oracle);
+        // Clean crash: everything persisted must survive verbatim.
+        mem.crash();
+        let (mut fleet, report) = KvFleet::recover(&mut mem).unwrap();
+        assert!(report.persistent_recovered);
+        assert!(report.log_replay.is_some());
+        assert_eq!(fleet.dump(&mut mem).unwrap(), oracle);
+    }
+
+    #[test]
+    fn fleet_open_without_root_is_rejected() {
+        let mut mem =
+            build_mem(PersistScheme::triad_nvm(2), CounterPersistence::Strict, 3).unwrap();
+        PersistentHeap::format(&mut mem).unwrap();
+        assert!(matches!(
+            KvFleet::open(&mut mem).unwrap_err(),
+            KvError::NotAStore
+        ));
+    }
+
+    #[test]
+    fn crash_equivalence_holds_on_one_small_history() {
+        // The full seeded sweep lives in tests/property_crash.rs; this
+        // is the in-crate smoke version (one scheme, one tiny history).
+        let spec = KvSpec::small(6);
+        let boundaries = crash_equivalence_check(
+            PersistScheme::triad_nvm(2),
+            CounterPersistence::Strict,
+            &spec,
+            42,
+        )
+        .unwrap();
+        assert!(boundaries > 0, "history must cross persist boundaries");
+    }
+}

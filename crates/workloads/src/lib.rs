@@ -10,7 +10,8 @@
 //!   properties Figures 4/8/9 actually depend on.
 //! * [`heap`] — a miniature PMDK (`libpmemobj`) substitute: a
 //!   persistent heap with a redo-log transaction mechanism over
-//!   [`triad_core::SecureMemory`].
+//!   [`triad_core::SecureMemory`] (now lives in `triad-kv`;
+//!   re-exported here for compatibility).
 //! * [`structures`] — the paper's three PMDK microbenchmarks as real
 //!   data structures on that heap: [`structures::PersistentHashtable`],
 //!   [`structures::PersistentQueue`], [`structures::ArraySwap`].
@@ -18,10 +19,16 @@
 //!   the `DAXBENCH-S-RW` strided workload, for the timing simulator.
 //! * [`mixes`] — the Table 2 workload registry (DAXBENCH1–4, MIX1–4)
 //!   plus every single-program workload the figures sweep.
+//! * [`kv`] — the deterministic multi-shard driver for the `triad-kv`
+//!   store: seeded history generation (Zipf or uniform keys), an
+//!   in-DRAM oracle, and the crash-equivalence check that replays a
+//!   history through crash injection at every persist boundary.
 
 #![warn(missing_docs)]
 
-pub mod heap;
+pub use triad_kv::heap;
+
+pub mod kv;
 pub mod mixes;
 pub mod spec;
 pub mod structures;
@@ -29,6 +36,7 @@ pub mod traces;
 pub mod zipf;
 
 pub use heap::{HeapError, PersistentHeap};
+pub use kv::{crash_equivalence_check, generate_history, KvFleet, KvMix, KvOp, KvSpec};
 pub use mixes::{all_figure_workloads, build_workload, WorkloadEnv};
 pub use spec::SpecWorkload;
 pub use traces::{DaxBench, PmdkKind, PmdkTrace};

@@ -14,7 +14,10 @@
 //! * [`meta`] — counter/MAC layout and Bonsai Merkle Trees.
 //! * [`core`] — the secure memory controller, persistence schemes,
 //!   crash injection and recovery (the paper's contribution).
-//! * [`workloads`] — SPEC-like / PMDK-like / DAX workload generators.
+//! * [`kv`] — a crash-consistent transactional key-value store built
+//!   on the secure memory (redo WAL + persistent heap).
+//! * [`workloads`] — SPEC-like / PMDK-like / DAX workload generators
+//!   and the KV crash-equivalence driver.
 //!
 //! Two workspace crates are deliberately *not* re-exported:
 //! `triad-bench` (the figure/benchmark binaries) and `triad-analyze`
@@ -46,6 +49,7 @@
 pub use triad_cache as cache;
 pub use triad_core as core;
 pub use triad_crypto as crypto;
+pub use triad_kv as kv;
 pub use triad_mem as mem;
 pub use triad_meta as meta;
 pub use triad_sim as sim;
