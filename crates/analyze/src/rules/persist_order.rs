@@ -60,6 +60,11 @@ const ENGINE_TYPE: &str = "SecureMemory";
 /// The KV store's WAL protocol helpers, in required durability order.
 const KV_APPEND: &[&str] = &["log_append"];
 const KV_COMMIT: &[&str] = &["log_commit"];
+/// The batched append-plus-marker step: one call covers both the
+/// append and the commit states (the marker is the batch's last
+/// durability point, so after it returns the transaction is
+/// committed).
+const KV_TXN: &[&str] = &["log_txn"];
 const KV_APPLY: &[&str] = &["apply_writes"];
 
 /// The type whose public surface the KV section covers.
@@ -85,7 +90,9 @@ impl Rule for PersistOrder {
     }
 
     fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
-        if file.path.ends_with("crates/core/src/engine.rs") {
+        if file.path.ends_with("crates/core/src/engine.rs")
+            || file.path.ends_with("crates/core/src/batch.rs")
+        {
             self.check_engine(file, out);
         } else if file.path.ends_with("crates/kv/src/store.rs") {
             self.check_kv(file, out);
@@ -112,8 +119,12 @@ impl PersistOrder {
     }
 
     fn check_kv(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
-        let wal_call =
-            |n: &str| KV_APPEND.contains(&n) || KV_COMMIT.contains(&n) || KV_APPLY.contains(&n);
+        let wal_call = |n: &str| {
+            KV_APPEND.contains(&n)
+                || KV_COMMIT.contains(&n)
+                || KV_TXN.contains(&n)
+                || KV_APPLY.contains(&n)
+        };
         for ib in impl_blocks(&file.toks) {
             if ib.target != KV_TYPE || ib.trait_name.is_some() {
                 continue;
@@ -144,14 +155,17 @@ fn pub_mut_self_fns(body: &[Tok]) -> Vec<PubFn<'_>> {
             continue;
         }
         let is_pub = {
-            // Walk back over qualifiers (`pub(crate) const unsafe fn`).
+            // Walk back over qualifiers (`pub const unsafe fn`). Only
+            // plain `pub` counts: `pub(crate)` helpers are the queue
+            // vocabulary itself (drains, write-backs), audited through
+            // the public operations that call them.
             let mut j = i;
             let mut found = false;
             while j > 0 {
                 j -= 1;
                 match &body[j] {
                     t if t.is_ident("pub") => {
-                        found = true;
+                        found = !matches!(body.get(j + 1), Some(g) if g.is_group('('));
                         break;
                     }
                     t if t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async") => {}
@@ -296,7 +310,10 @@ fn kv_walk(
 ) {
     let mut i = 0;
     while i < toks.len() {
-        if is_call(toks, i, KV_APPEND) || is_call(toks, i, KV_COMMIT) || is_call(toks, i, KV_APPLY)
+        if is_call(toks, i, KV_APPEND)
+            || is_call(toks, i, KV_COMMIT)
+            || is_call(toks, i, KV_TXN)
+            || is_call(toks, i, KV_APPLY)
         {
             if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
                 // Arguments evaluate before the call takes effect.
@@ -315,7 +332,7 @@ fn kv_walk(
                     );
                 }
                 *states = ST_IDLE;
-            } else if is_call(toks, i, KV_COMMIT) {
+            } else if is_call(toks, i, KV_COMMIT) || is_call(toks, i, KV_TXN) {
                 *states = ST_COMMITTED;
             } else {
                 *states = ST_APPENDED;

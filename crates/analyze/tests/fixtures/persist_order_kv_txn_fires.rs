@@ -1,0 +1,24 @@
+impl KvStore {
+    // GOOD: the batched append-plus-marker call commits, then applies.
+    pub fn put(&mut self, k: u64) -> Result<(), Error> {
+        self.log_txn(k)?;
+        self.apply_writes(k)?;
+        Ok(())
+    }
+
+    // BAD: on the k == 0 path the batched marker was never written,
+    // yet the index writes land anyway.
+    pub fn put_conditional(&mut self, k: u64) -> Result<(), Error> {
+        if k > 0 {
+            self.log_txn(k)?;
+        }
+        self.apply_writes(k)?;
+        Ok(())
+    }
+
+    // BAD: committed through the batch but never applied.
+    pub fn put_abandoned(&mut self, k: u64) -> Result<(), Error> {
+        self.log_txn(k)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,10 @@
+pub struct BatchPrefetchStats {
+    pub planned: u64,
+    pub dropped: u64,
+}
+
+impl StatSink for BatchPrefetchStats {
+    fn report(&self, out: &mut Vec<(String, u64)>) {
+        out.push(("planned".into(), self.planned));
+    }
+}

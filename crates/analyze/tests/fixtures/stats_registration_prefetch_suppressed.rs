@@ -1,0 +1,11 @@
+pub struct BatchPrefetchStats {
+    pub planned: u64,
+    // Counted by the cache's own miss stats; kept for plan debugging.
+    pub dropped: u64, // triad-lint: allow(stats-registration)
+}
+
+impl StatSink for BatchPrefetchStats {
+    fn report(&self, out: &mut Vec<(String, u64)>) {
+        out.push(("planned".into(), self.planned));
+    }
+}

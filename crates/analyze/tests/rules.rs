@@ -142,6 +142,41 @@ fn persist_order_only_audits_the_engine() {
 }
 
 #[test]
+fn persist_order_audits_the_batch_module() {
+    // Since PR 6 the batched write path (`crates/core/src/batch.rs`)
+    // is in the same audit scope as the engine: its public batch ops
+    // feed the same eviction queue.
+    let hits = rule_hits(
+        "crates/core/src/batch.rs",
+        "persist_order_batch_fires.rs",
+        "persist-order",
+    );
+    // persist_batch's tail Ok (drain is conditional); the pub(crate)
+    // helper and the clean apply_batch stay silent.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, 12, "persist_batch tail Ok");
+}
+
+#[test]
+fn persist_order_batch_respects_suppression() {
+    let f = analyze_source(
+        "crates/core/src/batch.rs",
+        &fixture("persist_order_batch_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn persist_order_skips_pub_crate_helpers() {
+    // `pub(crate)` queue plumbing is the vocabulary the rule audits
+    // *with*, not a surface it audits: the same body that fires as
+    // `pub` must stay silent as `pub(crate)`.
+    let src = fixture("persist_order_batch_fires.rs").replace("pub fn", "pub(crate) fn");
+    let f = analyze_source("crates/core/src/batch.rs", &src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
 fn persist_order_kv_fires_on_wal_order_violations() {
     let hits = rule_hits(
         "crates/kv/src/store.rs",
@@ -174,6 +209,21 @@ fn persist_order_kv_only_audits_the_store() {
         &fixture("persist_order_kv_fires.rs"),
     );
     assert!(f.iter().all(|x| x.rule != "persist-order"), "{f:?}");
+}
+
+#[test]
+fn persist_order_kv_tracks_batched_txn_appends() {
+    // `log_txn` (the PR 6 batched append-plus-marker) moves the WAL
+    // state straight to committed: applying after it is clean, but a
+    // conditional txn or an unapplied one still fires.
+    let hits = rule_hits(
+        "crates/kv/src/store.rs",
+        "persist_order_kv_txn_fires.rs",
+        "persist-order",
+    );
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert_eq!(hits[0].0, 15, "apply under conditional txn");
+    assert_eq!(hits[1].0, 22, "committed but unapplied tail Ok");
 }
 
 #[test]
@@ -214,6 +264,28 @@ fn stats_registration_register_respects_suppression() {
     let f = analyze_source(
         "crates/mem/src/controller.rs",
         &fixture("stats_registration_register_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn stats_registration_covers_the_prefetcher() {
+    // The PR 6 batch prefetcher lives in crates/cache, which is in the
+    // rule's scope: a plan counter its sink never reports is dead.
+    let hits = rule_hits(
+        "crates/cache/src/prefetch.rs",
+        "stats_registration_prefetch_fires.rs",
+        "stats-registration",
+    );
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, 3, "dropped is unreported");
+}
+
+#[test]
+fn stats_registration_prefetch_respects_suppression() {
+    let f = analyze_source(
+        "crates/cache/src/prefetch.rs",
+        &fixture("stats_registration_prefetch_suppressed.rs"),
     );
     assert!(f.is_empty(), "{f:?}");
 }

@@ -28,7 +28,7 @@ fn main() {
         let mut t = Time::ZERO;
         for i in 0..ops {
             if epoch_len > 1 && i % epoch_len == 0 {
-                mem.begin_epoch();
+                mem.begin_epoch().expect("no epoch open");
             }
             let a = PhysAddr(p.0 + (i % 8) * 4096);
             let mut b = [0u8; 64];

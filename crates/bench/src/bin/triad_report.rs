@@ -6,9 +6,17 @@
 //! `SplitMix64`-seeded traces, then crashes and functionally recovers
 //! each cell. Two extra rows (`kv-zipf`, `kv-uniform`) drive the
 //! `triad-kv` transactional store fleet and verify recovery against an
-//! in-DRAM oracle. Emits `BENCH_pr4.json` (deterministic: running
+//! in-DRAM oracle. Emits `BENCH_pr6.json` (deterministic: running
 //! twice with the same seed is byte-identical) plus a human-readable
 //! table.
+//!
+//! Since PR 6 the matrix runs over the batched write path: trace cells
+//! enable an 8-deep persist write-combining window
+//! ([`System::set_persist_batch`]) and the KV cells inherit batching
+//! through the store's WAL apply path, so comparing the emitted file
+//! against the checked-in `BENCH_pr4.json` (same matrix, scalar
+//! persists) measures the batch pipeline; `bench-delta` does exactly
+//! that in CI.
 //!
 //! Usage:
 //!   cargo run -p triad-bench --release --bin triad-report
@@ -74,6 +82,7 @@ fn run_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) 
     let env = WorkloadEnv::of(&mem);
     let traces = build_workload(workload, &env, seed);
     let mut system = System::new(mem, traces);
+    system.set_persist_batch(8);
     let result = system.run(ops).expect("clean run");
     let latency = result
         .registry
@@ -257,7 +266,7 @@ fn print_table(cells: &[Cell]) {
 fn main() {
     let mut smoke = false;
     let mut ops: Option<u64> = None;
-    let mut out_path = String::from("BENCH_pr4.json");
+    let mut out_path = String::from("BENCH_pr6.json");
     let mut seed: u64 = 42;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {

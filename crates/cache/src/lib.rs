@@ -26,6 +26,10 @@
 
 #![warn(missing_docs)]
 
+pub mod prefetch;
+
+pub use prefetch::{BatchPrefetcher, PrefetchClass, PrefetchPlan, PrefetchStats};
+
 use triad_sim::config::CacheConfig;
 use triad_sim::rng::SplitMix64;
 use triad_sim::stats::{Scope, StatRegister};

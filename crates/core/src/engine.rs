@@ -31,7 +31,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use triad_cache::{Cache, Replacement};
+use triad_cache::{BatchPrefetcher, Cache, Replacement};
 use triad_crypto::aes::Aes128;
 use triad_crypto::counter::{AnyCounterBlock, IncrementOutcome};
 use triad_crypto::ctr::{decrypt_block, encrypt_block, Iv};
@@ -46,6 +46,7 @@ use triad_sim::stats::{Histogram, Scope, StatRegister, StatRegistry, StatSet};
 use triad_sim::time::{Duration, Time};
 use triad_sim::{BlockAddr, PhysAddr, BLOCK_BYTES};
 
+use crate::batch::PendingBatch;
 use crate::error::{IntegrityKind, SecureMemoryError};
 use crate::recovery::{CorruptRange, RecoveryReport};
 use crate::registers::{PersistentRegisters, StagedUpdate, StagedWrite};
@@ -56,7 +57,7 @@ pub type Result<T> = std::result::Result<T, SecureMemoryError>;
 
 /// Whether the engine is running or waiting for recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EngineState {
+pub(crate) enum EngineState {
     Running,
     Crashed,
     /// Recovery declared the persistent region unverifiable.
@@ -111,6 +112,13 @@ pub struct SecureStats {
     /// Counter blocks reconstructed by the Osiris search at access
     /// time after a crash.
     pub osiris_recoveries: u64,
+    /// Write batches committed through the batched persist path.
+    pub batches: u64,
+    /// Members across all committed write batches.
+    pub batch_members: u64,
+    /// NVM writes merged away by batching: what a scalar walk would
+    /// have written minus what the coalesced commit actually wrote.
+    pub batch_writes_merged: u64,
 }
 
 impl SecureStats {
@@ -145,6 +153,9 @@ impl StatRegister for SecureStats {
         scope.set("epochs", self.epochs);
         scope.set("osiris_counter_skips", self.osiris_counter_skips);
         scope.set("osiris_recoveries", self.osiris_recoveries);
+        scope.set("batches", self.batches);
+        scope.set("batch_members", self.batch_members);
+        scope.set("batch_writes_merged", self.batch_writes_merged);
     }
 }
 
@@ -342,7 +353,7 @@ fn derive_key(seed: u64, purpose: u64) -> [u8; 16] {
 /// each top-level operation — never handled recursively — so no two
 /// live copies of the same metadata block can ever diverge.
 #[derive(Debug, Clone)]
-enum EvictItem {
+pub(crate) enum EvictItem {
     Data {
         addr: BlockAddr,
         plain: Block,
@@ -366,7 +377,7 @@ enum EvictItem {
 }
 
 impl EvictItem {
-    fn addr(&self) -> BlockAddr {
+    pub(crate) fn addr(&self) -> BlockAddr {
         match self {
             EvictItem::Data { addr, .. }
             | EvictItem::Counter { addr, .. }
@@ -379,51 +390,58 @@ impl EvictItem {
 /// The secure memory controller (see module docs).
 #[derive(Debug)]
 pub struct SecureMemory {
-    config: SystemConfig,
-    map: MemoryMap,
-    scheme: PersistScheme,
+    pub(crate) config: SystemConfig,
+    pub(crate) map: MemoryMap,
+    pub(crate) scheme: PersistScheme,
     key_policy: KeyPolicy,
     key_seed: u64,
     aes_persistent: Aes128,
     aes_volatile: Aes128,
     mac_engine: MacEngine,
-    mc: MemoryController,
-    l3: Cache,
-    ctr_cache: Cache,
-    mt_cache: Cache,
+    pub(crate) mc: MemoryController,
+    pub(crate) l3: Cache,
+    pub(crate) ctr_cache: Cache,
+    pub(crate) mt_cache: Cache,
     /// Plaintext of data blocks resident in L3.
-    plain: BTreeMap<u64, Block>,
+    pub(crate) plain: BTreeMap<u64, Block>,
     /// Current values of counter blocks resident in the counter cache.
-    counters: BTreeMap<u64, AnyCounterBlock>,
+    pub(crate) counters: BTreeMap<u64, AnyCounterBlock>,
     /// Current values of BMT nodes resident in the MT cache.
-    nodes: BTreeMap<u64, NodeBuf>,
+    pub(crate) nodes: BTreeMap<u64, NodeBuf>,
     /// Current values of MAC blocks resident in the MT cache.
-    macs: BTreeMap<u64, NodeBuf>,
-    regs: PersistentRegisters,
-    state: EngineState,
-    counter_persistence: CounterPersistence,
+    pub(crate) macs: BTreeMap<u64, NodeBuf>,
+    pub(crate) regs: PersistentRegisters,
+    pub(crate) state: EngineState,
+    pub(crate) counter_persistence: CounterPersistence,
     /// Updates since the last forced counter persist (Osiris mode).
     osiris_since: BTreeMap<u64, u8>,
     /// Non-persistent data blocks written this boot session (fresh
     /// anonymous pages read as zeros, like an OS zero page).
     np_written: BTreeSet<u64>,
     boot_count: u64,
-    stats: SecureStats,
-    hists: SecureHists,
+    pub(crate) stats: SecureStats,
+    pub(crate) hists: SecureHists,
     /// Structured event tracing; `None` (the default) costs nothing.
-    events: Option<SharedEventSink>,
-    clock: Time,
+    pub(crate) events: Option<SharedEventSink>,
+    pub(crate) clock: Time,
     /// Victims awaiting their downstream write-back (see [`EvictItem`]).
-    evict_queue: Vec<EvictItem>,
+    pub(crate) evict_queue: Vec<EvictItem>,
     /// Blocks whose persists are deferred to the next epoch boundary
     /// (`None` = epoch persistency inactive; see
     /// [`SecureMemory::begin_epoch`]).
-    epoch: Option<Vec<BlockAddr>>,
+    pub(crate) epoch: Option<Vec<BlockAddr>>,
+    /// An open write batch: atomic persists triggered while this is
+    /// `Some` stage into the pending set instead of running the scalar
+    /// register/WPQ protocol per write (see [`crate::batch`]).
+    pub(crate) batch: Option<PendingBatch>,
+    /// Prefetch planner fed by queued write batches.
+    pub(crate) prefetcher: BatchPrefetcher,
     /// Test hook: crash after this many further WPQ copies inside
     /// atomic persists.
-    crash_after_wpq_writes: Option<u64>,
+    pub(crate) crash_after_wpq_writes: Option<u64>,
     /// Test hook: crash instead of performing the n-th further
-    /// durability point (persist/flush write-back, epoch member flush).
+    /// durability point (persist/flush write-back, epoch member flush,
+    /// one batch member apply).
     crash_after_persists: Option<u64>,
 }
 
@@ -461,6 +479,8 @@ impl SecureMemory {
             clock: Time::ZERO,
             evict_queue: Vec::new(),
             epoch: None,
+            batch: None,
+            prefetcher: BatchPrefetcher::new(),
             crash_after_wpq_writes: None,
             crash_after_persists: None,
             config,
@@ -594,10 +614,14 @@ impl SecureMemory {
     /// (0 = the very next one). A durability point is a data
     /// write-back that would make a block durable: a non-epoch
     /// [`SecureMemory::persist_block`], a dirty
-    /// [`SecureMemory::flush_block`], or one deferred member flush
-    /// inside [`SecureMemory::end_epoch`]. Used by crash-consistency
-    /// drivers that enumerate every boundary of a fixed history (the
-    /// KV crash-equivalence suite).
+    /// [`SecureMemory::flush_block`], one deferred member flush
+    /// inside [`SecureMemory::end_epoch`], or one member apply inside
+    /// [`SecureMemory::persist_batch`] (a batch of *n* members spans
+    /// *n* boundaries, exactly like the scalar walk it replaces). Used
+    /// by crash-consistency drivers that enumerate every boundary of a
+    /// fixed history (the KV crash-equivalence suite).
+    ///
+    /// [`SecureMemory::persist_batch`]: SecureMemory::persist_batch
     pub fn inject_crash_after_persists(&mut self, n: u64) {
         self.crash_after_persists = Some(n);
     }
@@ -606,7 +630,7 @@ impl SecureMemory {
     /// hook. Returns `true` when the armed crash fired: the engine is
     /// already in the crashed state and the caller must abandon the
     /// persist and surface [`SecureMemoryError::NeedsRecovery`].
-    fn persist_boundary_crash(&mut self, now: Time) -> bool {
+    pub(crate) fn persist_boundary_crash(&mut self, now: Time) -> bool {
         match self.crash_after_persists {
             Some(0) => {
                 self.crash_after_persists = None;
@@ -632,11 +656,11 @@ impl SecureMemory {
         self.clock
     }
 
-    fn split_counters(&self) -> bool {
+    pub(crate) fn split_counters(&self) -> bool {
         self.config.security.counter_mode == triad_sim::config::CounterMode::Split
     }
 
-    fn aes_for(&self, kind: RegionKind) -> &Aes128 {
+    pub(crate) fn aes_for(&self, kind: RegionKind) -> &Aes128 {
         match (self.key_policy, kind) {
             (KeyPolicy::SessionCounter, _) => &self.aes_persistent,
             (KeyPolicy::DualKey, RegionKind::Persistent) => &self.aes_persistent,
@@ -655,11 +679,11 @@ impl SecureMemory {
         }
     }
 
-    fn layout(&self, kind: RegionKind) -> &RegionLayout {
+    pub(crate) fn layout(&self, kind: RegionKind) -> &RegionLayout {
         self.map.region(kind)
     }
 
-    fn check_running(&self) -> Result<()> {
+    pub(crate) fn check_running(&self) -> Result<()> {
         match self.state {
             EngineState::Running | EngineState::PersistentPoisoned => Ok(()),
             EngineState::Crashed => Err(SecureMemoryError::NeedsRecovery),
@@ -668,7 +692,7 @@ impl SecureMemory {
 
     // ----- cache wrappers: victims are queued, never handled inline --------
 
-    fn l3_touch(&mut self, block: BlockAddr, write: bool) -> bool {
+    pub(crate) fn l3_touch(&mut self, block: BlockAddr, write: bool) -> bool {
         let out = self.l3.access(block, write);
         if let Some(v) = out.victim {
             let plain = self.plain.remove(&v.addr.0).unwrap_or([0; BLOCK_BYTES]);
@@ -717,7 +741,7 @@ impl SecureMemory {
 
     /// Pulls a still-queued victim back on chip (a fetch racing its own
     /// pending write-back must see the newest value, not stale NVM).
-    fn reclaim(&mut self, addr: BlockAddr) -> Option<EvictItem> {
+    pub(crate) fn reclaim(&mut self, addr: BlockAddr) -> Option<EvictItem> {
         let pos = self.evict_queue.iter().position(|e| e.addr() == addr)?;
         Some(self.evict_queue.remove(pos))
     }
@@ -726,7 +750,7 @@ impl SecureMemory {
     /// and its parent's hash slot refreshed (the §3.2 lazy-propagation
     /// discipline). Handlers may queue further victims; the loop runs
     /// until quiescence.
-    fn drain_evictions(&mut self, now: Time) -> Result<()> {
+    pub(crate) fn drain_evictions(&mut self, now: Time) -> Result<()> {
         self.hists
             .evict_queue_depth
             .record(self.evict_queue.len() as u64);
@@ -766,6 +790,7 @@ impl SecureMemory {
                     let leaf = self.layout(kind).leaf_index(addr);
                     let bytes = value.to_bytes();
                     self.mc.write(addr, bytes, now);
+                    self.batch_refresh(addr, bytes);
                     self.stats.counter_writes_evict += 1;
                     let h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &bytes);
                     self.bump_parent_slot(kind, 0, leaf, h, now)?;
@@ -785,6 +810,7 @@ impl SecureMemory {
                     };
                     let index = addr - layout.bmt_level_start[level as usize - 1];
                     self.mc.write(addr, value.0, now);
+                    self.batch_refresh(addr, value.0);
                     self.stats.node_writes_evict += 1;
                     let h = bmt::node_hash(
                         &self.mac_engine,
@@ -800,6 +826,7 @@ impl SecureMemory {
                 EvictItem::Mac { addr, value, dirty } => {
                     if dirty {
                         self.mc.write(addr, value.0, now);
+                        self.batch_refresh(addr, value.0);
                         self.stats.mac_writes_evict += 1;
                     }
                 }
@@ -879,8 +906,13 @@ impl SecureMemory {
             self.mt_touch(addr, dirty);
             return Ok((value, now + self.mt_cache.latency()));
         }
-        // Fetch from NVM and verify against the parent.
-        let (bytes, t) = self.mc.read(addr, now);
+        // Fetch from NVM and verify against the parent. A block staged
+        // in an open batch is forwarded from the staging buffer: its
+        // NVM copy is stale until the batch commits.
+        let (bytes, t) = match self.batch_forward(addr) {
+            Some(fwd) => (fwd, now),
+            None => self.mc.read(addr, now),
+        };
         self.stats.node_reads += 1;
         let h = bmt::node_hash(
             &self.mac_engine,
@@ -955,7 +987,10 @@ impl SecureMemory {
             self.ctr_touch(addr, dirty);
             return Ok((value, now + self.ctr_cache.latency()));
         }
-        let (bytes, t) = self.mc.read(addr, now);
+        let (bytes, t) = match self.batch_forward(addr) {
+            Some(fwd) => (fwd, now),
+            None => self.mc.read(addr, now),
+        };
         self.stats.counter_reads += 1;
         let h = bmt::leaf_hash(&self.mac_engine, kind, leaf, &bytes);
         let geom = self.layout(kind).geometry.clone();
@@ -1079,7 +1114,10 @@ impl SecureMemory {
             self.mt_touch(addr, dirty);
             return Ok((value, now + self.mt_cache.latency()));
         }
-        let (bytes, t) = self.mc.read(addr, now);
+        let (bytes, t) = match self.batch_forward(addr) {
+            Some(fwd) => (fwd, now),
+            None => self.mc.read(addr, now),
+        };
         self.stats.mac_reads += 1;
         let buf = NodeBuf(bytes);
         self.macs.insert(addr.0, buf);
@@ -1088,7 +1126,7 @@ impl SecureMemory {
         Ok((buf, t))
     }
 
-    fn data_iv(&self, kind: RegionKind, block: BlockAddr, major: u64, minor: u8) -> Iv {
+    pub(crate) fn data_iv(&self, kind: RegionKind, block: BlockAddr, major: u64, minor: u8) -> Iv {
         Iv {
             page: block.page(),
             offset: block.page_offset() as u8,
@@ -1115,7 +1153,7 @@ impl SecureMemory {
     /// tree according to the region and scheme. `_clwb` marks
     /// clwb-style persists (eviction callers pass the captured
     /// plaintext of a line that is already gone from L3).
-    fn writeback_data(
+    pub(crate) fn writeback_data(
         &mut self,
         block: BlockAddr,
         plaintext: Block,
@@ -1139,10 +1177,21 @@ impl SecureMemory {
         self.counters.insert((layout.counter_start + leaf).0, cb);
         self.ctr_touch(layout.counter_start + leaf, true);
 
-        // 2. Encrypt and MAC the block.
+        // 2. Encrypt and MAC the block. An open batch may have
+        //    precomputed this pad from the batched AES pass; a miss
+        //    (counter misprediction) falls back to the scalar engine.
         let pair = cb.pair(slot);
         let iv = self.data_iv(kind, block, pair.major, pair.minor);
-        let ct = encrypt_block(self.aes_for(kind), &iv, &plaintext);
+        let ct = match self.batch_pad(block, pair.major, pair.minor) {
+            Some(pad) => {
+                let mut ct = [0u8; BLOCK_BYTES];
+                for (i, byte) in ct.iter_mut().enumerate() {
+                    *byte = plaintext[i] ^ pad[i];
+                }
+                ct
+            }
+            None => encrypt_block(self.aes_for(kind), &iv, &plaintext),
+        };
         let tag = self.data_tag(kind, block, &ct, &iv);
         let (mut mac_buf, t_mac) = self.ensure_mac_block(kind, data_index, now)?;
         mac_buf.set_slot((data_index % 8) as usize, tag);
@@ -1211,7 +1260,6 @@ impl SecureMemory {
                     addr: counter_addr,
                     data: counter_bytes,
                 });
-                self.stats.counter_writes_persist += 1;
             }
             writes.push(StagedWrite {
                 addr: mac_addr,
@@ -1219,49 +1267,65 @@ impl SecureMemory {
             });
             let node_count = staged_nodes.len() as u64;
             writes.extend(staged_nodes);
-            self.stats.atomic_persists += 1;
-            self.stats.mac_writes_persist += 1;
-            self.stats.node_writes_persist += node_count;
-            // §3.3.5 protocol: stage → READY_BIT → WPQ copies → commit.
-            // Only the persistent region's root matters for recovery
-            // (the non-persistent root is rebuilt lazily regardless).
-            self.regs.stage(StagedUpdate {
-                writes: writes.clone(),
-                new_persistent_root: (kind == RegionKind::Persistent).then_some(new_root),
-            });
-            t += self
-                .config
-                .security
-                .persistent_register_latency
-                .saturating_mul(writes.len() as u64 + 1);
-            emit(
-                &self.events,
-                now,
-                "atomic_persist",
-                &[
-                    ("block", block.0.into()),
-                    ("staged_writes", writes.len().into()),
-                ],
-            );
-            for w in &writes {
-                if let Some(left) = self.crash_after_wpq_writes {
-                    if left == 0 {
-                        self.crash_after_wpq_writes = None;
-                        emit(
-                            &self.events,
-                            t,
-                            "crash",
-                            &[("injected", true.into()), ("block", w.addr.0.into())],
-                        );
-                        self.crash();
-                        return Err(SecureMemoryError::NeedsRecovery);
-                    }
-                    self.crash_after_wpq_writes = Some(left - 1);
+            if self.batch.is_some() {
+                // Open batch: merge this member's update set into the
+                // pending (last-wins) staging buffer. The cumulative
+                // re-stage keeps the persistent registers holding the
+                // whole replayable prefix, so the per-member root
+                // advance below stays crash-safe; the coalesced WPQ
+                // drain and register commit happen once in
+                // `commit_batch`.
+                self.stage_into_batch(kind, &writes, persist_counter, new_root);
+                self.set_root(kind, new_root);
+            } else {
+                if persist_counter {
+                    self.stats.counter_writes_persist += 1;
                 }
-                t = self.mc.write(w.addr, w.data, t);
+                self.stats.atomic_persists += 1;
+                self.stats.mac_writes_persist += 1;
+                self.stats.node_writes_persist += node_count;
+                // §3.3.5 protocol: stage → READY_BIT → WPQ copies →
+                // commit. Only the persistent region's root matters for
+                // recovery (the non-persistent root is rebuilt lazily
+                // regardless).
+                self.regs.stage(StagedUpdate {
+                    writes: writes.clone(),
+                    new_persistent_root: (kind == RegionKind::Persistent).then_some(new_root),
+                });
+                t += self
+                    .config
+                    .security
+                    .persistent_register_latency
+                    .saturating_mul(writes.len() as u64 + 1);
+                emit(
+                    &self.events,
+                    now,
+                    "atomic_persist",
+                    &[
+                        ("block", block.0.into()),
+                        ("staged_writes", writes.len().into()),
+                    ],
+                );
+                for w in &writes {
+                    if let Some(left) = self.crash_after_wpq_writes {
+                        if left == 0 {
+                            self.crash_after_wpq_writes = None;
+                            emit(
+                                &self.events,
+                                t,
+                                "crash",
+                                &[("injected", true.into()), ("block", w.addr.0.into())],
+                            );
+                            self.crash();
+                            return Err(SecureMemoryError::NeedsRecovery);
+                        }
+                        self.crash_after_wpq_writes = Some(left - 1);
+                    }
+                    t = self.mc.write(w.addr, w.data, t);
+                }
+                self.set_root(kind, new_root);
+                self.regs.commit();
             }
-            self.set_root(kind, new_root);
-            self.regs.commit();
             // Persisted metadata is now clean on chip (under Osiris the
             // skipped counter stays dirty until its forced persist or
             // natural eviction).
@@ -1321,7 +1385,12 @@ impl SecureMemory {
             } else if tag.is_zero() {
                 [0u8; BLOCK_BYTES] // never written
             } else {
-                let (ct_old, tr) = self.mc.read(block, now);
+                // An open batch may hold a newer staged ciphertext for
+                // this block than the (stale) NVM copy.
+                let (ct_old, tr) = match self.batch_forward(block) {
+                    Some(fwd) => (fwd, now),
+                    None => self.mc.read(block, now),
+                };
                 t = t.max(tr);
                 let old_pair = old_cb.pair(s);
                 let iv_old = self.data_iv(kind, block, old_pair.major, old_pair.minor);
@@ -1337,7 +1406,17 @@ impl SecureMemory {
             self.macs.insert(mac_addr.0, mac_buf);
             self.mt_touch(mac_addr, true);
             touched_macs.insert(mac_addr.0);
-            t = self.mc.write(block, ct_new, t);
+            // Under an open batch the re-encrypted ciphertext of an
+            // atomically-persisted region must stage (a direct write
+            // would be clobbered by the batch commit or its recovery
+            // replay); lazy-path regions keep the direct write.
+            let atomic_here = self.scheme.persists_metadata()
+                && (kind == RegionKind::Persistent || self.scheme == PersistScheme::Strict);
+            if self.batch.is_some() && atomic_here {
+                self.batch_stage_raw(crate::batch::WriteClass::Data, block, ct_new);
+            } else {
+                t = self.mc.write(block, ct_new, t);
+            }
             self.stats.nvm_data_writes += 1;
         }
         if persist_macs {
@@ -1347,8 +1426,16 @@ impl SecureMemory {
             for mac_addr in touched_macs {
                 if let Some(buf) = self.macs.get(&mac_addr) {
                     let data = buf.0;
-                    t = self.mc.write(BlockAddr(mac_addr), data, t);
-                    self.stats.mac_writes_persist += 1;
+                    if self.batch.is_some() {
+                        self.batch_stage_raw(
+                            crate::batch::WriteClass::Mac,
+                            BlockAddr(mac_addr),
+                            data,
+                        );
+                    } else {
+                        t = self.mc.write(BlockAddr(mac_addr), data, t);
+                        self.stats.mac_writes_persist += 1;
+                    }
                     self.mt_cache.flush(BlockAddr(mac_addr));
                 }
             }
@@ -1580,37 +1667,57 @@ impl SecureMemory {
     /// latency and their durability is deferred — and write-combined —
     /// until [`SecureMemory::end_epoch`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an epoch is already open.
-    pub fn begin_epoch(&mut self) {
-        assert!(self.epoch.is_none(), "epoch already open");
+    /// [`SecureMemoryError::EpochAlreadyOpen`] if an epoch is already
+    /// open (nested epochs are rejected), or
+    /// [`SecureMemoryError::NeedsRecovery`] after an unrecovered crash.
+    pub fn begin_epoch(&mut self) -> Result<()> {
+        self.check_running()?;
+        if self.epoch.is_some() {
+            return Err(SecureMemoryError::EpochAlreadyOpen);
+        }
         self.epoch = Some(Vec::new());
+        Ok(())
     }
 
     /// Ends the current epoch: every deferred persist (latest value per
     /// block) becomes durable with its metadata before the returned
-    /// time. Returns `now` unchanged if no epoch was open.
+    /// time. Returns `now` unchanged if no epoch was open (a documented
+    /// no-op, so unconditional `end_epoch` in cleanup paths is safe).
+    ///
+    /// Under the atomic schemes with strict counters the boundary runs
+    /// through the batched write path: members share one precomputed
+    /// pad set, one prefetch plan and one coalesced register/WPQ
+    /// commit. The Osiris relaxation keeps the scalar per-member walk
+    /// (its skip bookkeeping is inherently per-write).
     ///
     /// # Errors
     ///
     /// Same classes as [`SecureMemory::persist_block`].
     pub fn end_epoch(&mut self, now: Time) -> Result<Time> {
+        self.check_running()?;
         let Some(pending) = self.epoch.take() else {
             return Ok(now);
         };
         self.stats.epochs += 1;
         // Deduplicate, keeping one flush per block (write combining —
-        // the core of the epoch-persistency win).
+        // the core of the epoch-persistency win). Blocks that were
+        // cleanly evicted since their persist are already durable.
         let mut seen = BTreeSet::new();
-        let mut t = now;
+        let mut members = Vec::new();
         for block in pending {
-            if !seen.insert(block.0) {
-                continue;
+            if seen.insert(block.0) && self.l3.probe_dirty(block) {
+                members.push(block);
             }
-            // The block may have been cleanly evicted (already durable)
-            // or overwritten; flush whatever is dirty on chip.
-            if self.l3.probe_dirty(block) {
+        }
+        let osiris = matches!(self.counter_persistence, CounterPersistence::Osiris { .. });
+        if members.is_empty() || osiris || !self.scheme.persists_metadata() {
+            // Scalar boundary: per-member write-backs. (Osiris skip
+            // bookkeeping is per-write; WriteBack persists no metadata
+            // so there is nothing for a batch to coalesce.)
+            let mut t = now;
+            for block in members {
                 if self.persist_boundary_crash(now) {
                     return Err(SecureMemoryError::NeedsRecovery);
                 }
@@ -1623,7 +1730,45 @@ impl SecureMemory {
                 self.l3.flush(block);
                 t = t.max(done);
             }
+            self.drain_evictions(now)?;
+            return Ok(t);
         }
+        // Batched boundary.
+        let flushes: Vec<(BlockAddr, Block)> = members
+            .iter()
+            .map(|b| {
+                (
+                    *b,
+                    self.plain.get(&b.0).copied().unwrap_or([0; BLOCK_BYTES]),
+                )
+            })
+            .collect();
+        let pads = self.precompute_batch_pads(&flushes);
+        self.plan_batch_prefetch(&flushes);
+        self.stats.batches += 1;
+        self.stats.batch_members += flushes.len() as u64;
+        self.batch = Some(PendingBatch::new(pads));
+        let mut t = now;
+        for (block, plaintext) in flushes {
+            if self.persist_boundary_crash(now) {
+                // The crash cleared the open batch; the staged prefix
+                // (every fully processed member) replays at recovery —
+                // the same per-member durability the scalar walk gives.
+                return Err(SecureMemoryError::NeedsRecovery);
+            }
+            let done = match self.writeback_data(block, plaintext, t, true) {
+                Ok(done) => done,
+                Err(e) => {
+                    // Commit the staged prefix so the on-chip roots and
+                    // the NVM image agree before surfacing the error.
+                    let _ = self.commit_batch(t);
+                    return Err(e);
+                }
+            };
+            self.l3.flush(block);
+            t = t.max(done);
+        }
+        t = self.commit_batch(t)?;
         self.drain_evictions(now)?;
         Ok(t)
     }
@@ -1729,6 +1874,7 @@ impl SecureMemory {
         self.np_written.clear();
         self.evict_queue.clear();
         self.epoch = None;
+        self.batch = None;
         self.osiris_since.clear();
         self.mc.crash();
         self.state = EngineState::Crashed;
@@ -1993,6 +2139,7 @@ impl SecureMemory {
         let mut reg = StatRegistry::new();
         self.stats.register(&mut reg.scope("secure"));
         self.hists.register(&mut reg.scope("secure"));
+        self.prefetcher.stats().register(&mut reg.scope("prefetch"));
         self.l3.register(&mut reg.scope("l3"));
         self.ctr_cache.register(&mut reg.scope("ctr_cache"));
         self.mt_cache.register(&mut reg.scope("mt_cache"));

@@ -67,6 +67,10 @@ pub enum SecureMemoryError {
         /// The offending address.
         addr: PhysAddr,
     },
+    /// `begin_epoch` was called while an epoch was already open.
+    /// Nested epochs have no defined ordering semantics, so reentrancy
+    /// is rejected instead of silently merging the two epochs.
+    EpochAlreadyOpen,
     /// The configuration was rejected.
     Config(String),
     /// An internal engine invariant was violated — a bug in the model,
@@ -107,6 +111,9 @@ impl fmt::Display for SecureMemoryError {
             }
             SecureMemoryError::NotPersistent { addr } => {
                 write!(f, "persist issued for non-persistent address {addr}")
+            }
+            SecureMemoryError::EpochAlreadyOpen => {
+                write!(f, "an epoch is already open; nested epochs are rejected")
             }
             SecureMemoryError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             SecureMemoryError::Internal { what } => {

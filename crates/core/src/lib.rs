@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod recovery;
@@ -40,6 +41,7 @@ pub mod registers;
 pub mod scheme;
 pub mod system;
 
+pub use batch::WriteBatch;
 pub use engine::{
     RegionHandle, Result, SecureHists, SecureMemory, SecureMemoryBuilder, SecureStats,
 };

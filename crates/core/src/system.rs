@@ -16,6 +16,7 @@ use triad_sim::time::Time;
 use triad_sim::trace::{MemOp, OpKind, TraceSource};
 use triad_sim::{BlockAddr, BLOCK_BYTES};
 
+use crate::batch::WriteBatch;
 use crate::engine::{Result, SecureMemory};
 
 /// Per-core execution statistics.
@@ -89,6 +90,9 @@ struct CoreState {
     ops: u64,
     done: bool,
     latency_ns: Histogram,
+    /// Write-combining buffer for consecutive persistent stores (only
+    /// used when [`System::set_persist_batch`] enabled a window).
+    wc_buffer: Vec<(BlockAddr, [u8; BLOCK_BYTES])>,
 }
 
 /// A complete simulated machine: N cores over one [`SecureMemory`].
@@ -96,6 +100,9 @@ pub struct System {
     config: SystemConfig,
     secure: SecureMemory,
     cores: Vec<CoreState>,
+    /// Persist write-combining window (0 = scalar persists, the
+    /// default); see [`System::set_persist_batch`].
+    persist_batch_window: usize,
 }
 
 impl std::fmt::Debug for System {
@@ -145,13 +152,55 @@ impl System {
                 ops: 0,
                 done: false,
                 latency_ns: Histogram::new(),
+                wc_buffer: Vec::new(),
             })
             .collect();
         System {
             config,
             secure,
             cores,
+            persist_batch_window: 0,
         }
+    }
+
+    /// Enables write-combining of persistent stores: up to `window`
+    /// *consecutive* `PersistentStore` ops per core buffer on chip and
+    /// drain through one engine [`WriteBatch`] (shared pad pass,
+    /// prefetch plan and coalesced metadata commit). Any other memory
+    /// operation acts as a barrier and drains the buffer first, as
+    /// does the end of the core's trace.
+    ///
+    /// This trades the *relaxed-persistency* window for throughput:
+    /// buffered stores retire at L1 latency and only become durable at
+    /// the next drain — the epoch-style contract of a write-combining
+    /// buffer below the sfence, not the per-op durability of the
+    /// scalar path. Core time still advances by the full drain cost
+    /// (the win is coalescing, not free persists); drain time is
+    /// charged between ops, so per-op latency histograms report the
+    /// op itself. `window = 0` restores scalar per-op persists (the
+    /// default).
+    pub fn set_persist_batch(&mut self, window: usize) {
+        self.persist_batch_window = window;
+    }
+
+    /// Drains core `idx`'s persist write-combining buffer as one
+    /// batch, advancing the core's clock to the drain's completion.
+    fn flush_persist_buffer(&mut self, idx: usize) -> Result<()> {
+        if self.cores[idx].wc_buffer.is_empty() {
+            return Ok(());
+        }
+        let mut batch = WriteBatch::new();
+        for (block, data) in self.cores[idx].wc_buffer.drain(..) {
+            batch.push(block, data);
+        }
+        let done = self.secure.persist_batch(&batch, self.cores[idx].time)?;
+        // The burst just queued a batch worth of NVM writes; hold the
+        // core until the WPQ is back under its high-water mark so the
+        // next unrelated write-back doesn't absorb the stall.
+        let headroom = self.secure.config.mem.wpq_entries / 2;
+        let settled = done.max(self.secure.mc.wpq_settle_time(headroom));
+        self.cores[idx].time = settled;
+        Ok(())
     }
 
     /// The shared secure memory (inspection between runs).
@@ -166,6 +215,17 @@ impl System {
     }
 
     fn step_core(&mut self, idx: usize, op: MemOp) -> Result<()> {
+        // A full window drains before accepting another member, and any
+        // non-persist op is a barrier (its ordering must not overtake
+        // buffered durability). Draining here, before the op's issue
+        // time is computed, keeps the drain out of the op's latency.
+        let window = self.persist_batch_window;
+        if window > 0 {
+            let buffered = self.cores[idx].wc_buffer.len();
+            if buffered > 0 && (op.kind != OpKind::PersistentStore || buffered >= window) {
+                self.flush_persist_buffer(idx)?;
+            }
+        }
         let base_cpi = self.config.core.base_cpi_ps;
         let core = &mut self.cores[idx];
         let block = op.addr.block();
@@ -216,13 +276,20 @@ impl System {
                 }
             }
             OpKind::PersistentStore => {
-                // store; clwb; sfence — blocks until durable.
+                // store; clwb; sfence — blocks until durable (or, with
+                // a persist-batch window, until buffered: durability
+                // then arrives at the next drain).
                 core.l1.access(block, true);
                 core.l1.flush(block);
                 core.l2.flush(block);
                 let data = synth_data(block, core.ops);
-                let done = self.secure.persist_block(block, data, t)?;
-                t = done;
+                if window > 0 {
+                    core.wc_buffer.push((block, data));
+                    t += core.l1.latency();
+                } else {
+                    let done = self.secure.persist_block(block, data, t)?;
+                    t = done;
+                }
             }
             OpKind::Flush => {
                 let dirty_l1 = core.l1.flush(block);
@@ -274,14 +341,15 @@ impl System {
             .min_by_key(|(_, c)| c.time)
             .map(|(i, _)| i)
         {
-            let core = &mut self.cores[idx];
-            if core.ops >= ops_per_core {
-                core.done = true;
+            if self.cores[idx].ops >= ops_per_core {
+                self.cores[idx].done = true;
+                self.flush_persist_buffer(idx)?;
                 continue;
             }
-            match core.trace.next_op() {
+            match self.cores[idx].trace.next_op() {
                 None => {
-                    core.done = true;
+                    self.cores[idx].done = true;
+                    self.flush_persist_buffer(idx)?;
                 }
                 Some(op) => {
                     self.step_core(idx, op)?;
@@ -407,6 +475,46 @@ mod tests {
         assert_eq!(r.cores.len(), 2);
         assert!(r.cores.iter().all(|c| c.ops == 50));
         assert!(r.stats.get("secure.persists") >= 50);
+    }
+
+    #[test]
+    fn persist_batching_coalesces_metadata_writes() {
+        let run = |window: usize| {
+            let m = mem(PersistScheme::triad_nvm(2));
+            let p = m.persistent_region().start();
+            let mut sys = System::new(m, vec![simple_trace("p", p, 200, true)]);
+            sys.set_persist_batch(window);
+            let r = sys.run(200).unwrap();
+            assert_eq!(r.cores[0].ops, 200);
+            (
+                r.stats.get("secure.persist_metadata_writes"),
+                r.stats.get("secure.persists"),
+                r.stats.get("secure.batches"),
+            )
+        };
+        let (scalar_meta, scalar_persists, scalar_batches) = run(0);
+        let (batched_meta, batched_persists, batched_batches) = run(8);
+        assert_eq!(scalar_batches, 0);
+        assert!(batched_batches >= 200 / 8, "batches: {batched_batches}");
+        // Every store is still a durability point...
+        assert_eq!(batched_persists, scalar_persists);
+        // ...but shared counter/MAC/BMT blocks commit once per drain.
+        assert!(
+            batched_meta < scalar_meta,
+            "batched {batched_meta} must coalesce below scalar {scalar_meta}"
+        );
+    }
+
+    #[test]
+    fn persist_batching_survives_crash_recovery() {
+        let m = mem(PersistScheme::triad_nvm(3));
+        let p = m.persistent_region().start();
+        let mut sys = System::new(m, vec![simple_trace("p", p, 96, true)]);
+        sys.set_persist_batch(8);
+        sys.run(96).unwrap();
+        let mut m = sys.into_secure();
+        m.crash();
+        assert!(m.recover().unwrap().persistent_recovered);
     }
 
     #[test]

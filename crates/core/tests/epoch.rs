@@ -17,7 +17,7 @@ fn build() -> triad_core::SecureMemory {
 fn epoch_defers_and_combines_persists() {
     let mut m = build();
     let p = m.persistent_region().start();
-    m.begin_epoch();
+    m.begin_epoch().unwrap();
     assert!(m.epoch_open());
     // 50 persists of the same block inside one epoch…
     for i in 0..50u64 {
@@ -49,7 +49,7 @@ fn epoch_defers_and_combines_persists() {
 fn epoch_boundary_guarantees_every_member() {
     let mut m = build();
     let p = m.persistent_region().start();
-    m.begin_epoch();
+    m.begin_epoch().unwrap();
     for i in 0..16u64 {
         let a = PhysAddr(p.0 + i * 4096);
         m.write(a, &i.to_le_bytes()).unwrap();
@@ -80,7 +80,7 @@ fn crash_inside_epoch_may_lose_its_persists_but_stays_consistent() {
     // Pre-epoch durable baseline.
     m.write(p, b"baseline").unwrap();
     m.persist(p).unwrap();
-    m.begin_epoch();
+    m.begin_epoch().unwrap();
     m.persist_block(p.block(), [7u8; 64], Time::ZERO).unwrap();
     // Crash before the boundary: the deferred persist is allowed to be
     // lost, but recovery must verify and the baseline must remain.
@@ -104,11 +104,17 @@ fn end_epoch_without_begin_is_a_no_op() {
 }
 
 #[test]
-#[should_panic(expected = "epoch already open")]
 fn nested_epochs_rejected() {
     let mut m = build();
-    m.begin_epoch();
-    m.begin_epoch();
+    m.begin_epoch().unwrap();
+    assert_eq!(
+        m.begin_epoch(),
+        Err(triad_core::SecureMemoryError::EpochAlreadyOpen)
+    );
+    // The original epoch is untouched by the rejected reentry.
+    assert!(m.epoch_open());
+    m.end_epoch(Time::ZERO).unwrap();
+    assert!(!m.epoch_open());
 }
 
 #[test]
@@ -119,7 +125,7 @@ fn epoch_reduces_metadata_write_traffic() {
         let mut m = build();
         let p = m.persistent_region().start();
         if epoch {
-            m.begin_epoch();
+            m.begin_epoch().unwrap();
         }
         for i in 0..200u64 {
             // 200 persists over 8 hot blocks.

@@ -378,6 +378,47 @@ mod tests {
     }
 
     #[test]
+    fn minor_at_0x7f_survives_the_packed_boundary_in_every_slot() {
+        // Regression pin for the 7-bit unpack mask (`v & 0x7f`): a minor
+        // sitting exactly at MINOR_MAX must round-trip unchanged through
+        // the packed layout for every slot alignment (the 7-bit fields
+        // straddle byte boundaries at 6 of the 8 phases).
+        for slot in 0..MINORS_PER_BLOCK {
+            let mut b = SplitCounterBlock::new();
+            for _ in 0..MINOR_MAX {
+                b.increment(slot);
+            }
+            assert_eq!(b.minor(slot), MINOR_MAX);
+            let back = SplitCounterBlock::from_bytes(&b.to_bytes());
+            assert_eq!(back.minor(slot), MINOR_MAX, "slot {slot}");
+            assert_eq!(back, b, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn overflow_across_the_serialisation_boundary_never_reuses_a_pair() {
+        // The dangerous path: a counter block at the 0x7f boundary is
+        // written to NVM, read back, and then incremented. The overflow
+        // must still bump the major and re-issue minor=1 — a silent
+        // (major, minor) reuse here would reuse a one-time pad.
+        let mut b = SplitCounterBlock::new();
+        for _ in 0..MINOR_MAX {
+            b.increment(7);
+        }
+        let pre = (b.major(), b.minor(7));
+        assert_eq!(pre, (0, MINOR_MAX));
+        let mut reloaded = SplitCounterBlock::from_bytes(&b.to_bytes());
+        assert_eq!(reloaded, b, "boundary state must survive NVM round-trip");
+        assert_eq!(reloaded.increment(7), IncrementOutcome::MajorOverflow);
+        assert_eq!((reloaded.major(), reloaded.minor(7)), (1, 1));
+        // And the post-overflow state round-trips too, so a crash right
+        // after the page re-encrypt cannot resurrect the old epoch.
+        let mut back = SplitCounterBlock::from_bytes(&reloaded.to_bytes());
+        assert_eq!(back, reloaded);
+        assert_eq!(back.increment(7), IncrementOutcome::Minor);
+    }
+
+    #[test]
     fn pack_unpack_round_trip() {
         let mut b = SplitCounterBlock::new();
         for i in 0..64 {

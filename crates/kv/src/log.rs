@@ -38,7 +38,7 @@
 //! is in-memory and rewound after apply, which is correct precisely
 //! because replay re-derives everything from the records themselves.
 
-use triad_core::{LogReplayStats, SecureMemory};
+use triad_core::{LogReplayStats, SecureMemory, WriteBatch};
 use triad_crypto::SipHash24;
 use triad_sim::{PhysAddr, BLOCK_BYTES};
 
@@ -157,6 +157,57 @@ impl RedoLog {
         mem.write(addr, &marker)?;
         mem.persist(addr)?;
         self.cursor += 1;
+        Ok(())
+    }
+
+    /// Appends a whole transaction — every write record plus the
+    /// commit marker — through one engine [`WriteBatch`].
+    ///
+    /// Members are pushed in log order and each member is its own
+    /// durability point inside the batch, so a crash anywhere leaves a
+    /// durable *prefix* of the records: the commit marker is durable
+    /// only once every record before it is — exactly the ordering the
+    /// scalar [`RedoLog::append_write`]/[`RedoLog::append_commit`]
+    /// pair enforces — while the AES pad pass and the coalesced
+    /// metadata commit are shared across the transaction (log blocks
+    /// are consecutive, so their counters, MACs and BMT ancestors
+    /// merge almost perfectly).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::LogFull`] when the transaction does not fit.
+    pub fn append_txn(
+        &mut self,
+        mem: &mut SecureMemory,
+        seq: u64,
+        writes: &[(PhysAddr, [u8; BLOCK_BYTES])],
+    ) -> Result<()> {
+        let needed = 2 * writes.len() as u64 + 1;
+        if self.cursor + needed > self.blocks {
+            return Err(KvError::LogFull);
+        }
+        let mut batch = WriteBatch::new();
+        let mut cursor = self.cursor;
+        for (target, payload) in writes {
+            let mut meta = [0u8; BLOCK_BYTES];
+            meta[..4].copy_from_slice(&LOG_MAGIC.to_le_bytes());
+            meta[4] = KIND_WRITE;
+            meta[8..16].copy_from_slice(&seq.to_le_bytes());
+            meta[16..24].copy_from_slice(&target.0.to_le_bytes());
+            meta[24..32].copy_from_slice(&write_checksum(seq, target.0, payload).to_le_bytes());
+            batch.push(self.block_addr(cursor).block(), meta);
+            batch.push(self.block_addr(cursor + 1).block(), *payload);
+            cursor += 2;
+        }
+        let mut marker = [0u8; BLOCK_BYTES];
+        marker[..4].copy_from_slice(&LOG_MAGIC.to_le_bytes());
+        marker[4] = KIND_COMMIT;
+        marker[8..16].copy_from_slice(&seq.to_le_bytes());
+        marker[16..24].copy_from_slice(&(writes.len() as u64).to_le_bytes());
+        marker[24..32].copy_from_slice(&commit_checksum(seq, writes.len() as u64).to_le_bytes());
+        batch.push(self.block_addr(cursor).block(), marker);
+        mem.apply_batch(&batch)?;
+        self.cursor = cursor + 1;
         Ok(())
     }
 

@@ -20,16 +20,18 @@
 //!
 //! Every put/delete computes its full write set (new entry blocks plus
 //! the one pointer block that links them in), then runs
-//! `log_append → log_commit → apply_writes → rewind`: redo records
-//! first, the checksummed commit marker as the durability point, the
-//! in-place apply after. The `persist-order` lint enforces that call
-//! order structurally. Old entry blocks are leaked on overwrite and
+//! `log_txn → apply_writes → rewind`: `log_txn` batches the redo
+//! records and the checksummed commit marker into one `WriteBatch` in
+//! log order (per-member durability makes the marker — the last
+//! member — the durability point, exactly as the scalar
+//! append/commit sequence it replaced), the in-place apply follows.
+//! The `persist-order` lint enforces that call order structurally. Old entry blocks are leaked on overwrite and
 //! delete — the bump allocator never reuses space, which is exactly
 //! what makes torn in-place updates impossible.
 
 use std::collections::BTreeMap;
 
-use triad_core::{LogReplayStats, RecoveryReport, SecureMemory};
+use triad_core::{LogReplayStats, RecoveryReport, SecureMemory, WriteBatch};
 use triad_crypto::SipHash24;
 use triad_sim::events::{emit, kind, SharedEventSink};
 use triad_sim::stats::{Scope, StatRegister};
@@ -323,42 +325,50 @@ impl KvStore {
     }
 
     /// Appends redo records for every write of the transaction.
-    fn log_append(
+    /// Batched log append + commit: appends the write records and the
+    /// commit marker as one [`WriteBatch`] log transaction (see
+    /// [`RedoLog::append_txn`]). The marker is the batch's last
+    /// durability point, so the transaction's commit semantics are
+    /// unchanged from the scalar [`RedoLog::append_write`] /
+    /// [`RedoLog::append_commit`] protocol.
+    ///
+    /// [`RedoLog::append_txn`]: crate::log::RedoLog::append_txn
+    /// [`RedoLog::append_write`]: crate::log::RedoLog::append_write
+    /// [`RedoLog::append_commit`]: crate::log::RedoLog::append_commit
+    fn log_txn(
         &mut self,
         mem: &mut SecureMemory,
         seq: u64,
         writes: &[(PhysAddr, [u8; BLOCK_BYTES])],
     ) -> Result<()> {
-        for (target, payload) in writes {
-            self.log.append_write(mem, seq, *target, payload)?;
-            self.stats.log_records += 1;
-        }
-        Ok(())
-    }
-
-    /// Persists the commit marker: the transaction's durability point.
-    fn log_commit(&mut self, mem: &mut SecureMemory, seq: u64, count: u64) -> Result<()> {
-        self.log.append_commit(mem, seq, count)?;
+        self.log.append_txn(mem, seq, writes)?;
+        self.stats.log_records += writes.len() as u64;
         self.stats.txns_committed += 1;
         emit(
             &self.events,
             mem.now(),
             kind::KV_TXN_COMMIT,
-            &[("seq", seq.into()), ("writes", count.into())],
+            &[("seq", seq.into()), ("writes", writes.len().into())],
         );
         Ok(())
     }
 
-    /// Applies the committed write set in place.
+    /// Applies the committed write set in place, through the engine's
+    /// batched write path: one queued batch shares the AES pad pass,
+    /// the prefetch plan and the coalesced metadata commit across the
+    /// transaction's blocks (each block still consumes one durability
+    /// point, so crash-boundary sweeps see the same granularity as the
+    /// scalar walk).
     fn apply_writes(
         &mut self,
         mem: &mut SecureMemory,
         writes: &[(PhysAddr, [u8; BLOCK_BYTES])],
     ) -> Result<()> {
+        let mut batch = WriteBatch::new();
         for (target, payload) in writes {
-            mem.write(*target, payload)?;
-            mem.persist(*target)?;
+            batch.push(target.block(), *payload);
         }
+        mem.apply_batch(&batch)?;
         Ok(())
     }
 
@@ -412,8 +422,7 @@ impl KvStore {
 
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.log_append(mem, seq, &writes)?;
-        self.log_commit(mem, seq, writes.len() as u64)?;
+        self.log_txn(mem, seq, &writes)?;
         self.apply_writes(mem, &writes)?;
         self.log.rewind();
         self.stats.puts += 1;
@@ -472,8 +481,7 @@ impl KvStore {
 
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.log_append(mem, seq, &writes)?;
-        self.log_commit(mem, seq, writes.len() as u64)?;
+        self.log_txn(mem, seq, &writes)?;
         self.apply_writes(mem, &writes)?;
         self.log.rewind();
         self.stats.delete_hits += 1;

@@ -224,6 +224,22 @@ impl MemoryController {
         &mut self.store
     }
 
+    /// The time at which the WPQ will have drained to at most
+    /// `occupancy` pending entries, assuming no further writes arrive
+    /// ([`Time::ZERO`] when it is already there). Burst writers — the
+    /// engine's batched metadata commit — use this to model the
+    /// controller holding off new core traffic until the queue is back
+    /// under its high-water mark, instead of letting the next
+    /// unrelated write-back eat the stall.
+    pub fn wpq_settle_time(&self, occupancy: usize) -> Time {
+        if self.wpq.len() <= occupancy {
+            return Time::ZERO;
+        }
+        let mut dones: Vec<Time> = self.wpq.iter().map(|(done, _)| *done).collect();
+        dones.sort_unstable();
+        dones[self.wpq.len() - occupancy - 1]
+    }
+
     fn drain_completed(&mut self, now: Time) {
         if self.events.is_some() {
             // Stamp each drain with its own completion time, not `now`,

@@ -130,7 +130,7 @@ pub fn run_history(
             },
             Op::BeginEpoch => {
                 if !mem.epoch_open() {
-                    mem.begin_epoch();
+                    mem.begin_epoch().map_err(|e| format!("{e}"))?;
                     epoch_floor = Some(floor);
                 }
             }
