@@ -1,7 +1,7 @@
 //! `triad-lint`: run the workspace's static-analysis rules.
 //!
 //! ```text
-//! triad-lint [--root PATH] [--json] [--deny-all] [--list-rules]
+//! triad-lint [--root PATH] [--format human|json] [--deny-all] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error. `--locked` and
@@ -21,11 +21,12 @@ USAGE:
     triad-lint [OPTIONS]
 
 OPTIONS:
-    --root PATH    workspace root to scan (default: current directory)
-    --json         emit findings as JSON instead of human-readable text
-    --deny-all     treat warnings as errors for the exit code
-    --list-rules   print the rule catalogue and exit
-    -h, --help     print this help
+    --root PATH      workspace root to scan (default: current directory)
+    --format FORMAT  output format: human (default) or json
+    --json           shorthand for --format json
+    --deny-all       treat warnings as errors for the exit code
+    --list-rules     print the rule catalogue (per-file and workspace) and exit
+    -h, --help       print this help
 ";
 
 fn main() -> ExitCode {
@@ -44,6 +45,20 @@ fn main() -> ExitCode {
                 root = PathBuf::from(p);
             }
             "--json" => json = true,
+            "--format" => {
+                let Some(fmt) = args.next() else {
+                    eprintln!("triad-lint: --format needs `human` or `json`");
+                    return ExitCode::from(2);
+                };
+                match fmt.as_str() {
+                    "human" => json = false,
+                    "json" => json = true,
+                    other => {
+                        eprintln!("triad-lint: unknown format `{other}` (want human|json)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--deny-all" => deny_all = true,
             "--list-rules" => list_rules = true,
             // Tolerated so CI can append its cargo flags after `--`.
@@ -62,7 +77,15 @@ fn main() -> ExitCode {
     if list_rules {
         for rule in rules::all() {
             println!(
-                "{:<24} {:<8} {}",
+                "{:<36} {:<8} {}",
+                rule.id(),
+                rule.severity().as_str(),
+                rule.description()
+            );
+        }
+        for rule in rules::workspace_all() {
+            println!(
+                "{:<36} {:<8} {}",
                 rule.id(),
                 rule.severity().as_str(),
                 rule.description()

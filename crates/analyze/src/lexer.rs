@@ -287,13 +287,23 @@ fn lex_prefixed_literal(cur: &mut Cursor<'_>, out: &mut LexOutput, span: Span) {
         // b'x' byte literal.
         cur.bump();
         if cur.peek() == Some('\\') {
+            // Multi-character escapes (`b'\x41'`, `b'\''`) run to the
+            // closing quote; consuming a fixed two characters would
+            // leak `41'` back into the token stream as code. The
+            // escaped character itself is consumed first so `b'\''`
+            // does not stop at the escaped quote.
             cur.bump();
             cur.bump();
+            while let Some(ch) = cur.bump() {
+                if ch == '\'' {
+                    break;
+                }
+            }
         } else {
             cur.bump();
-        }
-        if cur.peek() == Some('\'') {
-            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
         }
         out.tokens.push(Token {
             kind: TokenKind::Literal,
@@ -354,7 +364,11 @@ fn lex_quote(cur: &mut Cursor<'_>, out: &mut LexOutput, span: Span) {
     cur.bump(); // the quote
     match (cur.peek(), cur.peek_at(1)) {
         (Some('\\'), _) => {
-            // Escaped char literal: '\n', '\'', '\u{..}'.
+            // Escaped char literal: '\n', '\'', '\u{..}'. The escaped
+            // character is consumed before scanning for the closing
+            // quote, so '\'' terminates on the real closer instead of
+            // the escaped quote (which used to leak a stray `'`).
+            cur.bump();
             cur.bump();
             while let Some(ch) = cur.bump() {
                 if ch == '\'' {
@@ -510,5 +524,70 @@ mod tests {
         lex("/* never closed");
         lex("\"never closed");
         lex("r#\"never closed");
+    }
+
+    #[test]
+    fn raw_strings_hide_contents_at_any_hash_depth() {
+        // Multi-hash raw strings, embedded quote-hash runs shorter than
+        // the delimiter, and multi-line bodies must all lex as one
+        // literal — a misattributed token here becomes a phantom lint.
+        let src = "let a = r\"HashMap\"; let b = r##\"quote\"# still HashMap \"##; after_raw";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.contains(&"after_raw".to_string()));
+        let multiline = "let s = r#\"line one\n// HashMap in line two\nunwrap() in line three\"#;\ntail";
+        let ids = idents(multiline);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "unwrap"), "{ids:?}");
+        assert!(ids.contains(&"tail".to_string()));
+        // And the comment scanner must not see comment markers inside.
+        assert!(lex(multiline).comments.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "/* outer /* inner /* deepest HashMap */ */ unwrap() */ survivor";
+        let out = lex(src);
+        let ids: Vec<_> = out.tokens.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(ids, ["survivor"], "{ids:?}");
+        assert_eq!(out.comments.len(), 1);
+        // String delimiters inside a comment must not open a literal.
+        let tricky = "/* \" */ visible";
+        assert!(lex(tricky).tokens.iter().any(|t| t.is_ident("visible")));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_are_single_literals() {
+        let src = r##"let a = b"Hash\"Map"; let b = br#"raw HashMap "# ; after_bytes"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "Map"), "{ids:?}");
+        assert!(ids.contains(&"after_bytes".to_string()));
+    }
+
+    #[test]
+    fn byte_literal_multichar_escapes_do_not_leak() {
+        // Regression: `b'\x41'` used to consume only two characters of
+        // the escape, leaking `41'` back into the stream where the
+        // stray quote could swallow following code as a "char literal".
+        let ids = idents(r"let nl = b'\n'; let hex = b'\x41'; let q = b'\''; HashMapAfter");
+        assert_eq!(ids, ["let", "nl", "let", "hex", "let", "q", "HashMapAfter"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_leak_a_stray_quote() {
+        // Regression: '\'' used to terminate on the escaped quote,
+        // leaving the real closer behind as a stray token.
+        let out = lex(r"let q = '\''; let l: &'a str = x;");
+        let stray = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('\''))
+            .count();
+        assert_eq!(stray, 0, "no stray quote puncts: {:?}", out.tokens);
+        let lifetimes = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 1);
     }
 }

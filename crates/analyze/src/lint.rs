@@ -40,6 +40,18 @@ pub struct Finding {
     pub message: String,
 }
 
+/// One parsed `// triad-lint: allow(...)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the directive anchors to (a block comment anchors to its
+    /// ending line).
+    pub line: u32,
+    /// The rule IDs being allowed (or `all`).
+    pub rules: Vec<String>,
+    /// Whether a `-- reason` rationale follows the closing paren.
+    pub has_rationale: bool,
+}
+
 /// A source file, lexed and pre-digested for the rules.
 #[derive(Debug)]
 pub struct FileAnalysis {
@@ -51,8 +63,8 @@ pub struct FileAnalysis {
     /// Inclusive line ranges occupied by `#[test]` / `#[cfg(test)]`
     /// items.
     pub test_ranges: Vec<(u32, u32)>,
-    /// Parsed `triad-lint: allow(...)` comments: `(line, rule ids)`.
-    pub suppressions: Vec<(u32, Vec<String>)>,
+    /// Parsed `triad-lint: allow(...)` directives.
+    pub suppressions: Vec<Suppression>,
 }
 
 impl FileAnalysis {
@@ -91,8 +103,9 @@ impl FileAnalysis {
     /// `// triad-lint: allow(rule)` comment suppresses its own line
     /// and the line immediately below it.
     pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
-        self.suppressions.iter().any(|(l, rules)| {
-            (*l == line || l + 1 == line) && rules.iter().any(|r| r == rule || r == "all")
+        self.suppressions.iter().any(|s| {
+            (s.line == line || s.line + 1 == line)
+                && s.rules.iter().any(|r| r == rule || r == "all")
         })
     }
 
@@ -102,20 +115,31 @@ impl FileAnalysis {
     }
 }
 
-/// Extracts `triad-lint: allow(a, b)` directives from comments. A
-/// block comment anchors to its *ending* line, so the directive can sit
-/// in a comment block directly above the code it excuses.
-fn parse_suppressions(comments: &[Comment]) -> Vec<(u32, Vec<String>)> {
+/// Extracts `triad-lint: allow(a, b) -- reason` directives from
+/// comments. A block comment anchors to its *ending* line, so the
+/// directive can sit in a comment block directly above the code it
+/// excuses.
+///
+/// The directive must be the *start* of the comment (after the `//` /
+/// `/*` marker, doc-comment `!`, and whitespace). Anchoring matters:
+/// prose that merely mentions the syntax — the module docs of this very
+/// crate do — must not become a live suppression, and an `allow(all)`
+/// example in a doc comment must never silence real findings on the
+/// line below it.
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in comments {
-        let Some(idx) = c.text.find("triad-lint:") else {
+        let body = c
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start();
+        let Some(rest) = body.strip_prefix("triad-lint:") else {
             continue;
         };
-        let rest = &c.text[idx + "triad-lint:".len()..];
-        let Some(open) = rest.find("allow(") else {
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
             continue;
         };
-        let args = &rest[open + "allow(".len()..];
         let Some(close) = args.find(')') else {
             continue;
         };
@@ -124,8 +148,16 @@ fn parse_suppressions(comments: &[Comment]) -> Vec<(u32, Vec<String>)> {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .collect();
+        let tail = args[close + 1..].trim();
+        let has_rationale = tail
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim_matches(['*', '/', ' ', '\t']).is_empty());
         if !rules.is_empty() {
-            out.push((c.end_line, rules));
+            out.push(Suppression {
+                line: c.end_line,
+                rules,
+                has_rationale,
+            });
         }
     }
     out
@@ -143,16 +175,32 @@ pub trait Rule {
     fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>);
 }
 
+/// A lint rule that needs the whole workspace — symbol table, call
+/// graph and effect inference — rather than one file at a time.
+/// Workspace rules run after the per-file rules; their findings pass
+/// through the same per-file suppression filter.
+pub trait WorkspaceRule {
+    /// Stable rule ID, e.g. `persist-order`.
+    fn id(&self) -> &'static str;
+    /// Severity of this rule's findings.
+    fn severity(&self) -> Severity;
+    /// One-line description for `--list-rules` and docs.
+    fn description(&self) -> &'static str;
+    /// Runs the rule over the workspace, pushing findings.
+    fn check(&self, ws: &crate::Workspace, out: &mut Vec<Finding>);
+}
+
 /// Runs `rules` over `file`, dropping suppressed findings.
+/// `suppression-rationale` findings are exempt from the filter: a bare
+/// `allow(all)` must not silence the warning demanding its rationale.
 pub fn run_rules(file: &FileAnalysis, rules: &[Box<dyn Rule>], out: &mut Vec<Finding>) {
     let mut raw = Vec::new();
     for rule in rules {
         rule.check(file, &mut raw);
     }
-    out.extend(
-        raw.into_iter()
-            .filter(|f| !file.is_suppressed(f.rule, f.line)),
-    );
+    out.extend(raw.into_iter().filter(|f| {
+        f.rule == "suppression-rationale" || !file.is_suppressed(f.rule, f.line)
+    }));
 }
 
 /// Renders findings for terminals, one line each, plus a summary line.
@@ -250,6 +298,35 @@ mod tests {
         let f = FileAnalysis::new("x.rs", src);
         assert!(f.is_suppressed("a", 1));
         assert!(f.is_suppressed("b/c", 1));
+    }
+
+    #[test]
+    fn suppression_records_rationale_presence() {
+        let src = "a(); // triad-lint: allow(x) -- invariant held by caller\n\
+                   b(); // triad-lint: allow(y)\n\
+                   c(); // triad-lint: allow(z) --\n";
+        let f = FileAnalysis::new("x.rs", src);
+        assert_eq!(f.suppressions.len(), 3);
+        assert!(f.suppressions[0].has_rationale);
+        assert!(!f.suppressions[1].has_rationale, "no -- tail");
+        assert!(!f.suppressions[2].has_rationale, "empty -- tail");
+        // All three still suppress their rules.
+        assert!(f.is_suppressed("x", 1) && f.is_suppressed("y", 2) && f.is_suppressed("z", 3));
+    }
+
+    #[test]
+    fn suppression_must_anchor_at_comment_start() {
+        // Prose that mentions the syntax is not a directive: an
+        // `allow(all)` example in a doc comment must never silence the
+        // line below it.
+        let src = "//! docs mention `// triad-lint: allow(all)` here\nreal_code();\n";
+        let f = FileAnalysis::new("x.rs", src);
+        assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
+        assert!(!f.is_suppressed("all", 2));
+        // Doc-comment and block forms that *do* start with it still work.
+        let g = FileAnalysis::new("y.rs", "/* triad-lint: allow(q) -- replay-only */ code();\n");
+        assert_eq!(g.suppressions.len(), 1);
+        assert!(g.suppressions[0].has_rationale);
     }
 
     #[test]

@@ -4,27 +4,43 @@
 mod hash_order;
 mod panic_policy;
 mod persist_order;
+mod shard_safety;
 mod stats_registration;
+mod suppression_rationale;
 mod wall_clock;
 
 pub use hash_order::HashOrder;
 pub use panic_policy::PanicPolicy;
 pub use persist_order::PersistOrder;
+pub use shard_safety::{NondeterministicMerge, RngForkDiscipline, SharedMutableStatic};
 pub use stats_registration::StatsRegistration;
+pub use suppression_rationale::SuppressionRationale;
 pub use wall_clock::WallClock;
 
-use crate::lint::Rule;
+use crate::lint::{Rule, WorkspaceRule};
 use crate::tree::Tok;
 
-/// Every rule, in the order findings are attributed when several hit
-/// the same span.
+/// Every per-file rule, in the order findings are attributed when
+/// several hit the same span.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(HashOrder),
         Box::new(WallClock),
         Box::new(PanicPolicy),
-        Box::new(PersistOrder),
         Box::new(StatsRegistration),
+        Box::new(SuppressionRationale),
+    ]
+}
+
+/// Every workspace rule — these run over the [`crate::Workspace`]
+/// model (symbol table + call graph + effects) after the per-file
+/// rules.
+pub fn workspace_all() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(PersistOrder),
+        Box::new(SharedMutableStatic),
+        Box::new(NondeterministicMerge),
+        Box::new(RngForkDiscipline),
     ]
 }
 
@@ -37,12 +53,4 @@ pub(crate) fn walk_slices<'a>(toks: &'a [Tok], f: &mut impl FnMut(&'a [Tok], usi
             walk_slices(tokens, f);
         }
     }
-}
-
-/// Whether any identifier in the subtree satisfies `pred`.
-pub(crate) fn any_ident(toks: &[Tok], pred: &impl Fn(&str) -> bool) -> bool {
-    toks.iter().any(|t| match t {
-        Tok::Group { tokens, .. } => any_ident(tokens, pred),
-        leaf => leaf.ident().is_some_and(pred),
-    })
 }

@@ -1,81 +1,64 @@
-//! `persist-order`: the mechanized form of PR 1's manual audit. Every
-//! public `&mut self` engine operation that feeds the metadata eviction
-//! queue (counter / MAC / BMT write-backs scheduled by the `*_touch`
-//! and `ensure_*` helpers) must drain that queue before succeeding —
+//! `persist-order`: the mechanized form of PR 1's manual audit, since
+//! v2 an *interprocedural* workspace rule. Every public `&mut self`
+//! engine operation that (transitively) feeds the metadata eviction
+//! queue — counter / MAC / BMT write-backs scheduled by the `*_touch`
+//! and `ensure_*` helpers — must drain that queue before succeeding;
 //! otherwise a crash after the `Ok` return loses queued persists and
 //! the recovered BMT disagrees with data NVM, the exact TriadNVM-2
 //! regression PR 1 fixed.
 //!
-//! The check is structural, over the token tree of
-//! `crates/core/src/engine.rs`: walking a function body, a call to a
-//! queue-feeding helper sets a `pending` bit and `drain_evictions`
-//! clears it. Brace groups are conditional — the walker clones the bit
-//! into them and ORs it back out, so a drain *inside* an `if` never
-//! clears the parent path while a touch inside one taints it. A
-//! `return Ok` site or the function's tail `Ok(...)` while `pending`
-//! is set is a finding. Error paths (`?`, `return Err`) are exempt:
-//! failed operations make no persistence promise.
+//! v1 scoped the audit by file name (`engine.rs`, `batch.rs`,
+//! `store.rs`). v2 scopes it by *meaning*: any inherent
+//! `impl SecureMemory` (or `impl KvStore`) in `crates/{core,kv,mem}`
+//! is audited wherever it lives, and the gate is the inferred effect
+//! set — a public op whose persist effects arrive three calls deep is
+//! audited exactly like one that calls `l3_touch` directly.
+//!
+//! The walk itself keeps the v1 semantics (they are fixture-locked):
+//! a queue-vocabulary call sets a `pending` bit, `drain_evictions`
+//! clears it, brace groups are conditional regions (clone in, OR out),
+//! and a `return Ok` / tail `Ok` while pending is a finding. What v2
+//! adds is the call-site transfer: a call to a *resolved* non-vocab
+//! callee applies that callee's [`DrainSummary`], so a helper that
+//! enqueues without draining taints its public caller, and a helper
+//! that drains on every path (`set == false, dep == false`) cleans it.
 //!
 //! # The KV section
 //!
-//! The same rule audits the write-ahead-log protocol of
-//! `crates/kv/src/store.rs`: every public `&mut self` operation of
-//! `KvStore` that touches the WAL must run `log_append` →
-//! `log_commit` → `apply_writes` in that order on every Ok path.
-//! Applying index/entry writes before the commit marker is durable is
-//! exactly the torn-transaction window the log exists to close, so
-//! the walker tracks the *set* of possible protocol states (idle /
-//! appended / committed) through brace groups (union on exit, since a
-//! branch may not run) and flags an `apply_writes` reachable on a
-//! path where the marker may not be durable, or an Ok return with a
-//! logged transaction left unapplied.
+//! The same rule audits the write-ahead-log protocol of `KvStore`:
+//! every public `&mut self` operation with WAL effects must run
+//! `log_append` → `log_commit` → `apply_writes` in that order on
+//! every Ok path. The walker tracks the *set* of possible protocol
+//! states (idle / appended / committed) through brace groups (union
+//! on exit, since a branch may not run) and flags an `apply_writes`
+//! reachable on a path where the marker may not be durable, an Ok
+//! return with a logged transaction left unapplied — and, since v2, a
+//! call to any helper whose [`WalSummary`] applies writes from a
+//! maybe-uncommitted input state.
 
+use crate::effects::{
+    WalSummary, APPENDS_LOG, APPLIES_WRITES, EMITS_COMMIT_MARKER, PERSISTS_DATA,
+    PERSISTS_METADATA, ST_APPENDED, ST_COMMITTED, ST_IDLE,
+};
 use crate::lexer::Span;
-use crate::lint::{FileAnalysis, Finding, Rule, Severity};
-use crate::rules::any_ident;
-use crate::tree::{impl_blocks, Tok};
+use crate::lint::{Finding, Severity, WorkspaceRule};
+use crate::symbols::{crate_of, FnDef};
+use crate::tree::Tok;
+use crate::Workspace;
 
 /// See module docs.
 pub struct PersistOrder;
 
-/// Helpers that enqueue metadata (or data) write-backs on the engine's
-/// eviction queue.
-const QUEUE_CALLS: &[&str] = &[
-    "l3_touch",
-    "ctr_touch",
-    "mt_touch",
-    "writeback_data",
-    "reclaim",
-    "ensure_counter",
-    "ensure_node",
-    "ensure_mac_block",
-];
-
-/// The calls that retire the queue.
-const DRAINS: &[&str] = &["drain_evictions"];
-
-/// The type whose public surface the audit covers.
+/// The type whose public surface the engine audit covers.
 const ENGINE_TYPE: &str = "SecureMemory";
-
-/// The KV store's WAL protocol helpers, in required durability order.
-const KV_APPEND: &[&str] = &["log_append"];
-const KV_COMMIT: &[&str] = &["log_commit"];
-/// The batched append-plus-marker step: one call covers both the
-/// append and the commit states (the marker is the batch's last
-/// durability point, so after it returns the transaction is
-/// committed).
-const KV_TXN: &[&str] = &["log_txn"];
-const KV_APPLY: &[&str] = &["apply_writes"];
 
 /// The type whose public surface the KV section covers.
 const KV_TYPE: &str = "KvStore";
 
-/// Possible WAL protocol states (a bitset: brace groups union).
-const ST_IDLE: u8 = 1;
-const ST_APPENDED: u8 = 2;
-const ST_COMMITTED: u8 = 4;
+/// The crates whose `SecureMemory`/`KvStore` impls are audited.
+const AUDITED_CRATES: &[&str] = &["core", "kv", "mem"];
 
-impl Rule for PersistOrder {
+impl WorkspaceRule for PersistOrder {
     fn id(&self) -> &'static str {
         "persist-order"
     }
@@ -86,341 +69,251 @@ impl Rule for PersistOrder {
 
     fn description(&self) -> &'static str {
         "public engine ops must drain the eviction queue, and KV ops must \
-         order log append -> commit marker -> index apply, on every Ok path"
+         order log append -> commit marker -> index apply, on every Ok path \
+         (interprocedural: effects inferred through the call graph)"
     }
 
-    fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
-        if file.path.ends_with("crates/core/src/engine.rs")
-            || file.path.ends_with("crates/core/src/batch.rs")
-        {
-            self.check_engine(file, out);
-        } else if file.path.ends_with("crates/kv/src/store.rs") {
-            self.check_kv(file, out);
-        }
-    }
-}
-
-impl PersistOrder {
-    fn check_engine(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
-        for ib in impl_blocks(&file.toks) {
-            if ib.target != ENGINE_TYPE || ib.trait_name.is_some() {
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (i, f) in ws.symbols.fns.iter().enumerate() {
+            let file = &ws.files[f.file];
+            if !matches!(crate_of(&file.path), Some(c) if AUDITED_CRATES.contains(&c)) {
                 continue;
             }
-            for f in pub_mut_self_fns(ib.body) {
-                if !any_ident(f.body, &|n| QUEUE_CALLS.contains(&n)) {
-                    // Delegating wrappers (`read`, `write`, ...) are
-                    // audited through their callee.
-                    continue;
-                }
-                let mut pending = false;
-                walk(f.body, &mut pending, true, &f.name, self, file, out);
-            }
-        }
-    }
-
-    fn check_kv(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
-        let wal_call = |n: &str| {
-            KV_APPEND.contains(&n)
-                || KV_COMMIT.contains(&n)
-                || KV_TXN.contains(&n)
-                || KV_APPLY.contains(&n)
-        };
-        for ib in impl_blocks(&file.toks) {
-            if ib.target != KV_TYPE || ib.trait_name.is_some() {
+            if !f.is_pub || !f.mut_self || f.trait_impl || file.is_test_line(f.span.line) {
                 continue;
             }
-            for f in pub_mut_self_fns(ib.body) {
-                if !any_ident(f.body, &wal_call) {
-                    continue;
-                }
-                let mut states = ST_IDLE;
-                kv_walk(f.body, &mut states, true, &f.name, self, file, out);
-            }
-        }
-    }
-}
-
-/// A `pub fn name(&mut self, ...) { body }` item.
-struct PubFn<'a> {
-    name: String,
-    body: &'a [Tok],
-}
-
-fn pub_mut_self_fns(body: &[Tok]) -> Vec<PubFn<'_>> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < body.len() {
-        if !body[i].is_ident("fn") {
-            i += 1;
-            continue;
-        }
-        let is_pub = {
-            // Walk back over qualifiers (`pub const unsafe fn`). Only
-            // plain `pub` counts: `pub(crate)` helpers are the queue
-            // vocabulary itself (drains, write-backs), audited through
-            // the public operations that call them.
-            let mut j = i;
-            let mut found = false;
-            while j > 0 {
-                j -= 1;
-                match &body[j] {
-                    t if t.is_ident("pub") => {
-                        found = !matches!(body.get(j + 1), Some(g) if g.is_group('('));
-                        break;
+            match f.owner.as_deref() {
+                Some(ENGINE_TYPE) => {
+                    if ws.effects.effects[i] & (PERSISTS_METADATA | PERSISTS_DATA) == 0 {
+                        // Pure wrappers with no queue reach: nothing to
+                        // audit.
+                        continue;
                     }
-                    t if t.is_ident("const") || t.is_ident("unsafe") || t.is_ident("async") => {}
-                    t if t.is_group('(') => {}
-                    _ => break,
+                    let mut pending = false;
+                    let mut w = EngineWalk {
+                        ws,
+                        f,
+                        rule: self,
+                        path: &file.path,
+                        out,
+                    };
+                    w.walk(&f.body, &mut pending, true);
+                }
+                Some(KV_TYPE) => {
+                    if ws.effects.effects[i]
+                        & (APPENDS_LOG | EMITS_COMMIT_MARKER | APPLIES_WRITES)
+                        == 0
+                    {
+                        continue;
+                    }
+                    let mut states = ST_IDLE;
+                    let mut w = KvWalk {
+                        ws,
+                        f,
+                        rule: self,
+                        path: &file.path,
+                        out,
+                    };
+                    w.walk(&f.body, &mut states, true);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Whether `toks[i]` is a call `name(...)`, returning the name.
+/// `fn name(params)` (a nested definition) is not a call.
+fn call_at<'a>(toks: &'a [Tok], i: usize) -> Option<&'a str> {
+    if i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_ident("struct")) {
+        return None;
+    }
+    toks[i]
+        .ident()
+        .filter(|_| matches!(toks.get(i + 1), Some(g) if g.is_group('(')))
+}
+
+/// The concrete eviction-queue walker over one audited fn.
+struct EngineWalk<'a, 'o> {
+    ws: &'a Workspace,
+    f: &'a FnDef,
+    rule: &'a PersistOrder,
+    path: &'a str,
+    out: &'o mut Vec<Finding>,
+}
+
+impl EngineWalk<'_, '_> {
+    fn walk(&mut self, toks: &[Tok], pending: &mut bool, top: bool) {
+        let mut i = 0;
+        while i < toks.len() {
+            if let Some(name) = call_at(toks, i) {
+                let transfer = crate::effects::primitive_drain(name).or_else(|| {
+                    self.ws
+                        .symbols
+                        .resolve(self.f, name)
+                        .filter(|_| crate::effects::primitive_effects(name) == 0)
+                        .map(|c| self.ws.effects.drains[c])
+                });
+                if let Some(t) = transfer {
+                    if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
+                        // Arguments evaluate before the call takes
+                        // effect.
+                        self.walk(tokens, pending, false);
+                    }
+                    *pending = t.apply(*pending);
+                    i += 2;
+                    continue;
                 }
             }
-            found
-        };
-        let name = body
-            .get(i + 1)
-            .and_then(|t| t.ident())
-            .unwrap_or("")
-            .to_string();
-        // Find the parameter list and body, skipping generics; inside
-        // `<...>` the angle depth is positive, so `Fn(..)` bounds never
-        // masquerade as the parameter list.
-        let mut angle = 0i32;
-        let mut params: Option<&[Tok]> = None;
-        let mut fn_body: Option<&[Tok]> = None;
-        let mut j = i + 2;
-        while j < body.len() {
-            match &body[j] {
-                t if t.is_punct('<') => angle += 1,
-                t if t.is_punct('>') => angle -= 1,
-                Tok::Group {
-                    delim: '(', tokens, ..
-                } if params.is_none() && angle <= 0 => params = Some(tokens),
+            match &toks[i] {
+                t if t.is_ident("return")
+                    && *pending
+                    && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
+                {
+                    self.report(t.span(), "returns Ok");
+                }
                 Tok::Group {
                     delim: '{', tokens, ..
                 } => {
-                    fn_body = Some(tokens);
-                    break;
+                    // A brace group is a conditional region: findings
+                    // on returns inside use the state flowing in, and
+                    // any enqueue inside taints the parent, but a
+                    // drain inside cannot clear the parent (the branch
+                    // may not run).
+                    let mut inner = *pending;
+                    self.walk(tokens, &mut inner, false);
+                    *pending |= inner;
                 }
-                t if t.is_punct(';') => break,
+                Tok::Group { tokens, .. } => {
+                    self.walk(tokens, pending, false);
+                }
                 _ => {}
             }
-            j += 1;
+            i += 1;
         }
-        if let (true, Some(params), Some(fn_body)) = (is_pub, params, fn_body) {
-            if takes_mut_self(params) {
-                out.push(PubFn {
-                    name,
-                    body: fn_body,
-                });
+        if top && *pending {
+            let n = toks.len();
+            if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
+                self.report(toks[n - 2].span(), "falls off the end with Ok");
             }
         }
-        i = j + 1;
     }
-    out
-}
 
-/// Whether the first parameter is `&mut self` (lifetimes allowed).
-fn takes_mut_self(params: &[Tok]) -> bool {
-    let first: Vec<&Tok> = params.iter().take_while(|t| !t.is_punct(',')).collect();
-    first.iter().any(|t| t.is_punct('&'))
-        && first.iter().any(|t| t.is_ident("mut"))
-        && first.iter().any(|t| t.is_ident("self"))
-}
-
-/// Whether `toks[i]` is a call `name(...)` of one of `names`.
-fn is_call(toks: &[Tok], i: usize, names: &[&str]) -> bool {
-    toks[i].ident().is_some_and(|n| names.contains(&n))
-        && matches!(toks.get(i + 1), Some(g) if g.is_group('('))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn walk(
-    toks: &[Tok],
-    pending: &mut bool,
-    top: bool,
-    fn_name: &str,
-    rule: &PersistOrder,
-    file: &FileAnalysis,
-    out: &mut Vec<Finding>,
-) {
-    let mut i = 0;
-    while i < toks.len() {
-        if is_call(toks, i, QUEUE_CALLS) || is_call(toks, i, DRAINS) {
-            let enqueue = is_call(toks, i, QUEUE_CALLS);
-            if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
-                // Arguments evaluate before the call takes effect.
-                walk(tokens, pending, false, fn_name, rule, file, out);
-            }
-            *pending = enqueue;
-            i += 2;
-            continue;
-        }
-        match &toks[i] {
-            t if t.is_ident("return")
-                && *pending
-                && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
-            {
-                report(t.span(), fn_name, "returns Ok", rule, file, out);
-            }
-            Tok::Group {
-                delim: '{', tokens, ..
-            } => {
-                // A brace group is a conditional region: findings on
-                // returns inside use the state flowing in, and any
-                // enqueue inside taints the parent, but a drain inside
-                // cannot clear the parent (the branch may not run).
-                let mut inner = *pending;
-                walk(tokens, &mut inner, false, fn_name, rule, file, out);
-                *pending |= inner;
-            }
-            Tok::Group { tokens, .. } => {
-                walk(tokens, pending, false, fn_name, rule, file, out);
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    if top && *pending {
-        let n = toks.len();
-        if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
-            report(
-                toks[n - 2].span(),
-                fn_name,
-                "falls off the end with Ok",
-                rule,
-                file,
-                out,
-            );
-        }
+    fn report(&mut self, span: Span, how: &str) {
+        self.out.push(Finding {
+            rule: self.rule.id(),
+            severity: self.rule.severity(),
+            path: self.path.to_string(),
+            line: span.line,
+            col: span.col,
+            message: format!(
+                "`{}` {how} while the eviction queue may hold undrained persists; \
+                 call `drain_evictions` before succeeding",
+                self.f.name
+            ),
+        });
     }
 }
 
-/// The KV walker: tracks the set of possible WAL states through the
-/// token tree. Brace groups are conditional regions — the state set is
-/// cloned in and unioned out, so a `log_commit` inside an `if` leaves
-/// "maybe uncommitted" alive on the parent path.
-#[allow(clippy::too_many_arguments)]
-fn kv_walk(
-    toks: &[Tok],
-    states: &mut u8,
-    top: bool,
-    fn_name: &str,
-    rule: &PersistOrder,
-    file: &FileAnalysis,
-    out: &mut Vec<Finding>,
-) {
-    let mut i = 0;
-    while i < toks.len() {
-        if is_call(toks, i, KV_APPEND)
-            || is_call(toks, i, KV_COMMIT)
-            || is_call(toks, i, KV_TXN)
-            || is_call(toks, i, KV_APPLY)
-        {
-            if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
-                // Arguments evaluate before the call takes effect.
-                kv_walk(tokens, states, false, fn_name, rule, file, out);
+/// The concrete WAL-protocol walker over one audited fn: tracks the
+/// set of possible WAL states through the token tree. Brace groups are
+/// conditional regions — the state set is cloned in and unioned out,
+/// so a `log_commit` inside an `if` leaves "maybe uncommitted" alive
+/// on the parent path.
+struct KvWalk<'a, 'o> {
+    ws: &'a Workspace,
+    f: &'a FnDef,
+    rule: &'a PersistOrder,
+    path: &'a str,
+    out: &'o mut Vec<Finding>,
+}
+
+impl KvWalk<'_, '_> {
+    fn walk(&mut self, toks: &[Tok], states: &mut u8, top: bool) {
+        let mut i = 0;
+        while i < toks.len() {
+            if let Some(name) = call_at(toks, i) {
+                let transfer: Option<(WalSummary, bool)> = crate::effects::primitive_wal(name)
+                    .map(|w| (w, true))
+                    .or_else(|| {
+                        self.ws
+                            .symbols
+                            .resolve(self.f, name)
+                            .filter(|_| crate::effects::primitive_effects(name) == 0)
+                            .map(|c| (self.ws.effects.wals[c], false))
+                            .filter(|(w, _)| *w != WalSummary::IDENTITY)
+                    });
+                if let Some((t, direct)) = transfer {
+                    if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
+                        // Arguments evaluate before the call takes
+                        // effect.
+                        self.walk(tokens, states, false);
+                    }
+                    if t.unsafe_on(*states) {
+                        let how = if direct {
+                            "applies transaction writes on a path where the \
+                             commit marker may not be durable"
+                                .to_string()
+                        } else {
+                            format!(
+                                "calls `{name}`, which applies transaction writes, on a \
+                                 path where the commit marker may not be durable"
+                            )
+                        };
+                        self.report(toks[i].span(), &how);
+                    }
+                    *states = t.apply(*states);
+                    i += 2;
+                    continue;
+                }
             }
-            if is_call(toks, i, KV_APPLY) {
-                if *states & !ST_COMMITTED != 0 {
-                    kv_report(
-                        toks[i].span(),
-                        fn_name,
-                        "applies transaction writes on a path where the \
-                         commit marker may not be durable",
-                        rule,
-                        file,
-                        out,
+            match &toks[i] {
+                t if t.is_ident("return")
+                    && *states & (ST_APPENDED | ST_COMMITTED) != 0
+                    && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
+                {
+                    self.report(
+                        t.span(),
+                        "returns Ok with a logged transaction not yet applied",
                     );
                 }
-                *states = ST_IDLE;
-            } else if is_call(toks, i, KV_COMMIT) || is_call(toks, i, KV_TXN) {
-                *states = ST_COMMITTED;
-            } else {
-                *states = ST_APPENDED;
+                Tok::Group {
+                    delim: '{', tokens, ..
+                } => {
+                    let mut inner = *states;
+                    self.walk(tokens, &mut inner, false);
+                    *states |= inner;
+                }
+                Tok::Group { tokens, .. } => {
+                    self.walk(tokens, states, false);
+                }
+                _ => {}
             }
-            i += 2;
-            continue;
+            i += 1;
         }
-        match &toks[i] {
-            t if t.is_ident("return")
-                && *states & (ST_APPENDED | ST_COMMITTED) != 0
-                && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
-            {
-                kv_report(
-                    t.span(),
-                    fn_name,
-                    "returns Ok with a logged transaction not yet applied",
-                    rule,
-                    file,
-                    out,
+        if top && *states & (ST_APPENDED | ST_COMMITTED) != 0 {
+            let n = toks.len();
+            if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
+                self.report(
+                    toks[n - 2].span(),
+                    "falls off the end with Ok while a logged transaction is not yet applied",
                 );
             }
-            Tok::Group {
-                delim: '{', tokens, ..
-            } => {
-                let mut inner = *states;
-                kv_walk(tokens, &mut inner, false, fn_name, rule, file, out);
-                *states |= inner;
-            }
-            Tok::Group { tokens, .. } => {
-                kv_walk(tokens, states, false, fn_name, rule, file, out);
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    if top && *states & (ST_APPENDED | ST_COMMITTED) != 0 {
-        let n = toks.len();
-        if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
-            kv_report(
-                toks[n - 2].span(),
-                fn_name,
-                "falls off the end with Ok while a logged transaction is not yet applied",
-                rule,
-                file,
-                out,
-            );
         }
     }
-}
 
-fn kv_report(
-    span: Span,
-    fn_name: &str,
-    how: &str,
-    rule: &PersistOrder,
-    file: &FileAnalysis,
-    out: &mut Vec<Finding>,
-) {
-    out.push(Finding {
-        rule: rule.id(),
-        severity: rule.severity(),
-        path: file.path.clone(),
-        line: span.line,
-        col: span.col,
-        message: format!(
-            "`{fn_name}` {how}; the WAL contract is \
-             log_append -> log_commit -> apply_writes on every Ok path"
-        ),
-    });
-}
-
-fn report(
-    span: Span,
-    fn_name: &str,
-    how: &str,
-    rule: &PersistOrder,
-    file: &FileAnalysis,
-    out: &mut Vec<Finding>,
-) {
-    out.push(Finding {
-        rule: rule.id(),
-        severity: rule.severity(),
-        path: file.path.clone(),
-        line: span.line,
-        col: span.col,
-        message: format!(
-            "`{fn_name}` {how} while the eviction queue may hold undrained persists; \
-             call `drain_evictions` before succeeding"
-        ),
-    });
+    fn report(&mut self, span: Span, how: &str) {
+        self.out.push(Finding {
+            rule: self.rule.id(),
+            severity: self.rule.severity(),
+            path: self.path.to_string(),
+            line: span.line,
+            col: span.col,
+            message: format!(
+                "`{}` {how}; the WAL contract is \
+                 log_append -> log_commit -> apply_writes on every Ok path",
+                self.f.name
+            ),
+        });
+    }
 }

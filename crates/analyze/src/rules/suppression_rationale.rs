@@ -1,0 +1,50 @@
+//! `suppression-rationale`: every `// triad-lint: allow(<rule>)` must
+//! carry a trailing `-- reason` explaining why the suppressed
+//! invariant holds anyway. A suppression is a claim ("this unwrap
+//! cannot fire", "this map never feeds a deterministic path") — the
+//! rationale is the claim's proof obligation, and it keeps the next
+//! refactorer from cargo-culting the allow to a site where the claim
+//! is false.
+//!
+//! Findings of this rule are deliberately *exempt* from suppression
+//! filtering (see `lint::run_rules`): otherwise a bare `allow(all)`
+//! would silence the very warning demanding its rationale.
+
+use crate::lint::{FileAnalysis, Finding, Rule, Severity};
+
+/// See module docs.
+pub struct SuppressionRationale;
+
+impl Rule for SuppressionRationale {
+    fn id(&self) -> &'static str {
+        "suppression-rationale"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "every triad-lint allow(...) carries a `-- reason` rationale"
+    }
+
+    fn check(&self, file: &FileAnalysis, out: &mut Vec<Finding>) {
+        for s in &file.suppressions {
+            if s.has_rationale {
+                continue;
+            }
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                path: file.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "suppression of `{}` has no rationale; append \
+                     `-- <why the invariant holds anyway>`",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+}

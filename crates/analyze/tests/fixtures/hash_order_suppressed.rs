@@ -1,5 +1,5 @@
 // Keyed by u64 identity and never iterated, so order cannot leak.
-use std::collections::HashMap; // triad-lint: allow(determinism/hash-order)
+use std::collections::HashMap; // triad-lint: allow(determinism/hash-order) -- fixture: map never iterated
 
 pub fn singleton() -> usize {
     1

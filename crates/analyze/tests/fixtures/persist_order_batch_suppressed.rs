@@ -4,6 +4,6 @@ impl SecureMemory {
             self.ctr_touch(w.addr, now)?;
         }
         // Drained by the epoch barrier that closes every batch window.
-        Ok(now) // triad-lint: allow(persist-order)
+        Ok(now) // triad-lint: allow(persist-order) -- fixture: drain is proven by the harness
     }
 }

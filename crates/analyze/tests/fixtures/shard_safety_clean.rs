@@ -1,0 +1,31 @@
+//! Clean fixture: per-shard state, ordered merge, forked RNG — and an
+//! interior-mutable static that no engine op can reach.
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SHARD_LIMIT: usize = 64;
+
+static PROCESS_TICKS: AtomicU64 = AtomicU64::new(0);
+
+fn telemetry_tick() {
+    PROCESS_TICKS.fetch_add(1, Ordering::Relaxed);
+}
+
+impl SecureMemory {
+    pub fn store_block(&mut self, addr: u64) -> Result<(), E> {
+        self.stats.ops += 1;
+        Ok(())
+    }
+}
+
+pub fn merge_shard_stats(shards: &[StatSet]) -> Merged {
+    let mut merged = BTreeMap::new();
+    for s in shards {
+        merged.extend(s.iter());
+    }
+    merged
+}
+
+pub fn spawn_shard(trace_rng: &mut SplitMix64) -> Shard {
+    Shard::new(trace_rng.fork())
+}

@@ -1,0 +1,23 @@
+//! Fixture: all three shard-safety rules fire.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static OP_TICKS: AtomicU64 = AtomicU64::new(0);
+
+impl SecureMemory {
+    pub fn store_block(&mut self, addr: u64) -> Result<(), E> {
+        OP_TICKS.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+pub fn merge_shard_stats(shards: &[StatSet]) -> Merged {
+    let mut merged = HashMap::new();
+    for s in shards {
+        merged.extend(s.iter());
+    }
+    merged
+}
+
+pub fn spawn_shard(trace_rng: &SplitMix64) -> Shard {
+    Shard::new(trace_rng.clone())
+}

@@ -1,7 +1,7 @@
 pub struct BatchPrefetchStats {
     pub planned: u64,
     // Counted by the cache's own miss stats; kept for plan debugging.
-    pub dropped: u64, // triad-lint: allow(stats-registration)
+    pub dropped: u64, // triad-lint: allow(stats-registration) -- fixture: reported by an external sink
 }
 
 impl StatSink for BatchPrefetchStats {

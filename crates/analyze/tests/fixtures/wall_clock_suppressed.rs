@@ -1,5 +1,5 @@
 pub fn stamp() -> u128 {
-    // triad-lint: allow(determinism/wall-clock)
+    // triad-lint: allow(determinism/wall-clock) -- fixture: time is display-only
     let t = std::time::Instant::now();
     t.elapsed().as_nanos()
 }

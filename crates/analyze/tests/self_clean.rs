@@ -1,8 +1,25 @@
-//! The workspace itself must lint clean, and the `persist-order` rule
-//! must demonstrably catch a seeded mutant of the real engine with a
-//! drain call removed — proof the CI gate guards something real.
+//! The workspace itself must lint clean, and every rule must
+//! demonstrably catch a seeded mutant of the *real* sources — proof
+//! the CI gate guards something real, not just hand-built fixtures.
+//! Each mutant test follows the same shape: assert the pristine file
+//! is clean under the rule, seed one realistic defect, assert the
+//! rule fires.
 
 use std::path::{Path, PathBuf};
+
+fn read_crate_file(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {rel}: {e}"))
+}
+
+/// Findings of `rule` when `source` is linted under its real path.
+fn findings_for(rel: &str, source: &str, rule: &str) -> Vec<(u32, String)> {
+    triad_analyze::analyze_source(rel, source)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.line, f.message))
+        .collect()
+}
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -65,4 +82,114 @@ fn engine_mutant_without_drain_is_flagged() {
         "persist-order caught only {caught}/{sites} drain-removal mutants"
     );
     assert!(caught > 0, "no mutant was flagged");
+}
+
+#[test]
+fn kv_mutant_without_txn_append_is_flagged() {
+    // Remove the batched append-plus-marker from the real store: the
+    // surviving `apply_writes` now runs from the idle WAL state, the
+    // exact torn-transaction window the rule exists for.
+    let rel = "crates/kv/src/store.rs";
+    let store = read_crate_file(rel);
+    assert!(findings_for(rel, &store, "persist-order").is_empty());
+
+    let needle = "        self.log_txn(mem, seq, &writes)?;\n";
+    assert!(store.contains(needle), "log_txn anchor moved");
+    let mutant = store.replacen(needle, "", 1);
+    let hits = findings_for(rel, &mutant, "persist-order");
+    assert!(!hits.is_empty(), "apply without append/commit not flagged");
+    assert!(
+        hits.iter().any(|(_, m)| m.contains("commit marker")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn engine_mutant_with_shared_static_is_flagged() {
+    // Seed a process-global tick counter into the real engine and
+    // bump it from the hottest public op: exactly the shared-state
+    // hazard a sharded front-end would trip on.
+    let rel = "crates/core/src/engine.rs";
+    let engine = read_crate_file(rel);
+    let rule = "shard-safety/shared-mutable-static";
+    assert!(findings_for(rel, &engine, rule).is_empty());
+
+    let sig = "pub fn store_block(&mut self, block: BlockAddr, data: Block, now: Time) -> Result<Time> {";
+    assert!(engine.contains(sig), "store_block anchor moved");
+    let mutant = format!(
+        "static LINT_MUTANT_TICKS: core::sync::atomic::AtomicU64 =\n    \
+         core::sync::atomic::AtomicU64::new(0);\n{}",
+        engine.replacen(
+            sig,
+            &format!("{sig}\n        LINT_MUTANT_TICKS.fetch_add(1, Ordering::Relaxed);"),
+            1
+        )
+    );
+    let hits = findings_for(rel, &mutant, rule);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, 1, "flagged at the static's definition");
+    assert!(hits[0].1.contains("LINT_MUTANT_TICKS"), "{}", hits[0].1);
+}
+
+#[test]
+fn stats_mutant_with_hashed_merge_is_flagged() {
+    // Reroute the real `StatSet::merge` through a default-hashed
+    // scratch map: shard results would merge in RandomState order.
+    let rel = "crates/sim/src/stats.rs";
+    let stats = read_crate_file(rel);
+    let rule = "shard-safety/nondeterministic-merge";
+    assert!(findings_for(rel, &stats, rule).is_empty());
+
+    let sig = "pub fn merge(&mut self, other: &StatSet) {";
+    assert!(stats.contains(sig), "merge anchor moved");
+    let mutant = stats.replacen(
+        sig,
+        &format!("{sig}\n        let mut scratch = HashMap::new();\n        scratch.insert(0u64, 0u64);"),
+        1,
+    );
+    let hits = findings_for(rel, &mutant, rule);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].1.contains("merge"), "{}", hits[0].1);
+}
+
+#[test]
+fn workload_mutant_with_cloned_rng_is_flagged() {
+    // Duplicate the history generator's RNG by cloning instead of
+    // deriving a stream: two "independent" shards replay the same
+    // randomness.
+    let rel = "crates/workloads/src/kv.rs";
+    let kv = read_crate_file(rel);
+    let rule = "shard-safety/rng-fork-discipline";
+    assert!(findings_for(rel, &kv, rule).is_empty());
+
+    let anchor = "let mut rng = SplitMix64::stream(seed, 0x6b76_6f70_7321);";
+    assert!(kv.contains(anchor), "rng anchor moved");
+    let mutant = kv.replacen(
+        anchor,
+        &format!("{anchor}\n    let _shared = rng.clone();"),
+        1,
+    );
+    let hits = findings_for(rel, &mutant, rule);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].1.contains("rng"), "{}", hits[0].1);
+}
+
+#[test]
+fn stripping_a_suppression_rationale_is_flagged() {
+    // Delete the `-- reason` from a real suppression: the allow still
+    // silences its rule, but the missing rationale becomes a finding.
+    let rel = "crates/meta/src/bmt.rs";
+    let bmt = read_crate_file(rel);
+    let rule = "suppression-rationale";
+    assert!(findings_for(rel, &bmt, rule).is_empty());
+
+    let tail = " -- documented panic; the MAC block is 64 bytes so every slot < 8 is in range";
+    assert!(bmt.contains(tail), "rationale anchor moved");
+    let mutant = bmt.replacen(tail, "", 1);
+    let hits = findings_for(rel, &mutant, rule);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].1.contains("no rationale"), "{}", hits[0].1);
+    // The naked allow still suppresses its target rule — the
+    // rationale finding must not resurrect what it silenced.
+    assert!(findings_for(rel, &mutant, "panic-policy").is_empty());
 }

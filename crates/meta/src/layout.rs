@@ -294,7 +294,7 @@ impl MemoryMap {
     /// Panics if the configuration fails [`SystemConfig::validate`].
     pub fn new(config: &SystemConfig) -> Self {
         // Documented panic: callers validate configs before mapping.
-        // triad-lint: allow(panic-policy)
+        // triad-lint: allow(panic-policy) -- documented panic; construction is config-time, not a recovery path
         config.validate().expect("invalid system configuration");
         let total_blocks = config.mem.capacity_bytes / 64;
         let np_blocks = total_blocks / 8 * (8 - config.persistent_eighths) as u64;
