@@ -47,8 +47,7 @@ fn scan(toks: &[Tok], out: &mut Vec<(String, Span)>) {
         if let Some(name) = t.ident() {
             // `fn name(params)` / `struct Name(fields)` are
             // definitions, not calls.
-            let is_def = i > 0
-                && (toks[i - 1].is_ident("fn") || toks[i - 1].is_ident("struct"));
+            let is_def = i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_ident("struct"));
             if !is_def
                 && !NON_CALL.contains(&name)
                 && matches!(toks.get(i + 1), Some(g) if g.is_group('('))

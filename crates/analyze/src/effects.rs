@@ -210,9 +210,9 @@ impl WalSummary {
     pub fn then(self, next: WalSummary) -> WalSummary {
         let mut out = [0u8; 3];
         let mut unsafe_in = self.unsafe_in;
-        for b in 0..3 {
+        for (b, slot) in out.iter_mut().enumerate() {
             let mid = self.out[b];
-            out[b] = next.apply(mid);
+            *slot = next.apply(mid);
             if next.unsafe_in & mid != 0 {
                 unsafe_in |= 1 << b;
             }
@@ -396,10 +396,7 @@ mod tests {
             "fn a(&mut self) { b() }\nfn b(&mut self) { c() }\nfn c(&mut self) { self.l3_touch(1); }\n",
         );
         assert_eq!(t.effects[idx(&s, "a")], PERSISTS_METADATA);
-        assert_eq!(
-            effect_names(t.effects[idx(&s, "a")]),
-            ["PersistsMetadata"]
-        );
+        assert_eq!(effect_names(t.effects[idx(&s, "a")]), ["PersistsMetadata"]);
     }
 
     #[test]
@@ -445,9 +442,6 @@ mod tests {
         );
         let op = t.wals[idx(&s, "op")];
         assert_eq!(op.unsafe_in, 0, "txn committed before apply");
-        assert_ne!(
-            t.effects[idx(&s, "op")] & EMITS_COMMIT_MARKER,
-            0
-        );
+        assert_ne!(t.effects[idx(&s, "op")] & EMITS_COMMIT_MARKER, 0);
     }
 }

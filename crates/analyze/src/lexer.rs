@@ -535,9 +535,13 @@ mod tests {
         let ids = idents(src);
         assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
         assert!(ids.contains(&"after_raw".to_string()));
-        let multiline = "let s = r#\"line one\n// HashMap in line two\nunwrap() in line three\"#;\ntail";
+        let multiline =
+            "let s = r#\"line one\n// HashMap in line two\nunwrap() in line three\"#;\ntail";
         let ids = idents(multiline);
-        assert!(!ids.iter().any(|i| i == "HashMap" || i == "unwrap"), "{ids:?}");
+        assert!(
+            !ids.iter().any(|i| i == "HashMap" || i == "unwrap"),
+            "{ids:?}"
+        );
         assert!(ids.contains(&"tail".to_string()));
         // And the comment scanner must not see comment markers inside.
         assert!(lex(multiline).comments.is_empty());

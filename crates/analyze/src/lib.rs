@@ -94,9 +94,7 @@ impl Workspace {
                 .get(f.path.as_str())
                 .is_none_or(|fa| !fa.is_suppressed(f.rule, f.line))
         }));
-        out.sort_by(|a, b| {
-            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
-        });
+        out.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
         out
     }
 }
@@ -110,10 +108,7 @@ pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
 /// Lints several sources as one workspace under virtual paths, so
 /// tests can exercise cross-file call resolution.
 pub fn analyze_sources(files: &[(&str, &str)]) -> Vec<Finding> {
-    let files = files
-        .iter()
-        .map(|(p, s)| FileAnalysis::new(p, s))
-        .collect();
+    let files = files.iter().map(|(p, s)| FileAnalysis::new(p, s)).collect();
     Workspace::new(files).findings()
 }
 

@@ -129,10 +129,7 @@ impl FileAnalysis {
 fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in comments {
-        let body = c
-            .text
-            .trim_start_matches(['/', '*', '!'])
-            .trim_start();
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
         let Some(rest) = body.strip_prefix("triad-lint:") else {
             continue;
         };
@@ -198,9 +195,10 @@ pub fn run_rules(file: &FileAnalysis, rules: &[Box<dyn Rule>], out: &mut Vec<Fin
     for rule in rules {
         rule.check(file, &mut raw);
     }
-    out.extend(raw.into_iter().filter(|f| {
-        f.rule == "suppression-rationale" || !file.is_suppressed(f.rule, f.line)
-    }));
+    out.extend(
+        raw.into_iter()
+            .filter(|f| f.rule == "suppression-rationale" || !file.is_suppressed(f.rule, f.line)),
+    );
 }
 
 /// Renders findings for terminals, one line each, plus a summary line.
@@ -324,7 +322,10 @@ mod tests {
         assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
         assert!(!f.is_suppressed("all", 2));
         // Doc-comment and block forms that *do* start with it still work.
-        let g = FileAnalysis::new("y.rs", "/* triad-lint: allow(q) -- replay-only */ code();\n");
+        let g = FileAnalysis::new(
+            "y.rs",
+            "/* triad-lint: allow(q) -- replay-only */ code();\n",
+        );
         assert_eq!(g.suppressions.len(), 1);
         assert!(g.suppressions[0].has_rationale);
     }

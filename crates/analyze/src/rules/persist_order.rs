@@ -37,8 +37,8 @@
 //! maybe-uncommitted input state.
 
 use crate::effects::{
-    WalSummary, APPENDS_LOG, APPLIES_WRITES, EMITS_COMMIT_MARKER, PERSISTS_DATA,
-    PERSISTS_METADATA, ST_APPENDED, ST_COMMITTED, ST_IDLE,
+    WalSummary, APPENDS_LOG, APPLIES_WRITES, EMITS_COMMIT_MARKER, PERSISTS_DATA, PERSISTS_METADATA,
+    ST_APPENDED, ST_COMMITTED, ST_IDLE,
 };
 use crate::lexer::Span;
 use crate::lint::{Finding, Severity, WorkspaceRule};
@@ -100,8 +100,7 @@ impl WorkspaceRule for PersistOrder {
                     w.walk(&f.body, &mut pending, true);
                 }
                 Some(KV_TYPE) => {
-                    if ws.effects.effects[i]
-                        & (APPENDS_LOG | EMITS_COMMIT_MARKER | APPLIES_WRITES)
+                    if ws.effects.effects[i] & (APPENDS_LOG | EMITS_COMMIT_MARKER | APPLIES_WRITES)
                         == 0
                     {
                         continue;
@@ -124,7 +123,7 @@ impl WorkspaceRule for PersistOrder {
 
 /// Whether `toks[i]` is a call `name(...)`, returning the name.
 /// `fn name(params)` (a nested definition) is not a call.
-fn call_at<'a>(toks: &'a [Tok], i: usize) -> Option<&'a str> {
+fn call_at(toks: &[Tok], i: usize) -> Option<&str> {
     if i > 0 && (toks[i - 1].is_ident("fn") || toks[i - 1].is_ident("struct")) {
         return None;
     }

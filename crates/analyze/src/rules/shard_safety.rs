@@ -142,8 +142,7 @@ impl WorkspaceRule for SharedMutableStatic {
             collect_statics(&file.toks, idx, &mut statics);
         }
         statics.retain(|s| {
-            (s.is_mut || s.interior_mutable)
-                && !ws.files[s.file].is_test_line(s.span.line)
+            (s.is_mut || s.interior_mutable) && !ws.files[s.file].is_test_line(s.span.line)
         });
         if statics.is_empty() {
             return;

@@ -151,7 +151,7 @@ fn collect_fns(
 
 /// Parses an impl header starting at `toks[i]` (`impl` keyword).
 /// Returns `(target, is_trait_impl, body, index_after_body)`.
-fn parse_impl_header<'a>(toks: &'a [Tok], i: usize) -> Option<(String, bool, &'a [Tok], usize)> {
+fn parse_impl_header(toks: &[Tok], i: usize) -> Option<(String, bool, &[Tok], usize)> {
     let mut before_for: Vec<&str> = Vec::new();
     let mut after_for: Vec<&str> = Vec::new();
     let mut saw_for = false;
@@ -280,10 +280,7 @@ mod tests {
     use super::*;
 
     fn table(files: &[(&str, &str)]) -> SymbolTable {
-        let fas: Vec<FileAnalysis> = files
-            .iter()
-            .map(|(p, s)| FileAnalysis::new(p, s))
-            .collect();
+        let fas: Vec<FileAnalysis> = files.iter().map(|(p, s)| FileAnalysis::new(p, s)).collect();
         SymbolTable::build(&fas)
     }
 
@@ -338,7 +335,11 @@ mod tests {
         let d = &t.fns[got];
         assert_eq!(d.owner.as_deref(), Some("Engine"), "method wins");
         // Two equally-plausible foreign candidates: unresolved.
-        let free = t.fns.iter().find(|f| f.name == "tick" && f.owner.is_none()).unwrap();
+        let free = t
+            .fns
+            .iter()
+            .find(|f| f.name == "tick" && f.owner.is_none())
+            .unwrap();
         assert!(t.resolve(free, "nonexistent").is_none());
     }
 }

@@ -298,10 +298,26 @@ fn v1_findings_reproduce_under_v2() {
     // on the persist-order fixture suite must survive the v2 rewrite,
     // at the same lines.
     let table: &[(&str, &str, &[u32])] = &[
-        ("persist_order_fires.rs", "crates/core/src/engine.rs", &[9, 16]),
-        ("persist_order_batch_fires.rs", "crates/core/src/batch.rs", &[12]),
-        ("persist_order_kv_fires.rs", "crates/kv/src/store.rs", &[6, 8, 18, 25]),
-        ("persist_order_kv_txn_fires.rs", "crates/kv/src/store.rs", &[15, 22]),
+        (
+            "persist_order_fires.rs",
+            "crates/core/src/engine.rs",
+            &[9, 16],
+        ),
+        (
+            "persist_order_batch_fires.rs",
+            "crates/core/src/batch.rs",
+            &[12],
+        ),
+        (
+            "persist_order_kv_fires.rs",
+            "crates/kv/src/store.rs",
+            &[6, 8, 18, 25],
+        ),
+        (
+            "persist_order_kv_txn_fires.rs",
+            "crates/kv/src/store.rs",
+            &[15, 22],
+        ),
     ];
     for (fixture_name, path, lines) in table {
         let got: Vec<u32> = rule_hits(path, fixture_name, "persist-order")
@@ -322,7 +338,11 @@ fn shard_safety_fires() {
         .collect();
     assert_eq!(statics.len(), 1, "{f:?}");
     assert_eq!(statics[0].line, 4, "OP_TICKS is flagged at its definition");
-    assert!(statics[0].message.contains("store_block"), "{}", statics[0].message);
+    assert!(
+        statics[0].message.contains("store_block"),
+        "{}",
+        statics[0].message
+    );
     let merges: Vec<_> = f
         .iter()
         .filter(|x| x.rule == "shard-safety/nondeterministic-merge")
@@ -355,14 +375,16 @@ fn shard_safety_respects_suppression() {
     );
     let f = analyze_sources(&[("crates/workloads/src/fleet.rs", src.as_str())]);
     assert!(
-        f.iter().all(|x| x.rule != "shard-safety/shared-mutable-static"),
+        f.iter()
+            .all(|x| x.rule != "shard-safety/shared-mutable-static"),
         "{f:?}"
     );
 }
 
 #[test]
 fn suppression_rationale_fires_on_naked_allows() {
-    let src = "fn f(v: &[u64]) -> u64 {\n    *v.first().unwrap() // triad-lint: allow(panic-policy)\n}\n";
+    let src =
+        "fn f(v: &[u64]) -> u64 {\n    *v.first().unwrap() // triad-lint: allow(panic-policy)\n}\n";
     let f = analyze_source("crates/core/src/x.rs", src);
     assert_eq!(f.len(), 1, "{f:?}");
     assert_eq!(f[0].rule, "suppression-rationale");

@@ -114,7 +114,8 @@ fn engine_mutant_with_shared_static_is_flagged() {
     let rule = "shard-safety/shared-mutable-static";
     assert!(findings_for(rel, &engine, rule).is_empty());
 
-    let sig = "pub fn store_block(&mut self, block: BlockAddr, data: Block, now: Time) -> Result<Time> {";
+    let sig =
+        "pub fn store_block(&mut self, block: BlockAddr, data: Block, now: Time) -> Result<Time> {";
     assert!(engine.contains(sig), "store_block anchor moved");
     let mutant = format!(
         "static LINT_MUTANT_TICKS: core::sync::atomic::AtomicU64 =\n    \
@@ -144,7 +145,9 @@ fn stats_mutant_with_hashed_merge_is_flagged() {
     assert!(stats.contains(sig), "merge anchor moved");
     let mutant = stats.replacen(
         sig,
-        &format!("{sig}\n        let mut scratch = HashMap::new();\n        scratch.insert(0u64, 0u64);"),
+        &format!(
+            "{sig}\n        let mut scratch = HashMap::new();\n        scratch.insert(0u64, 0u64);"
+        ),
         1,
     );
     let hits = findings_for(rel, &mutant, rule);

@@ -6,9 +6,13 @@
 //! `SplitMix64`-seeded traces, then crashes and functionally recovers
 //! each cell. Two extra rows (`kv-zipf`, `kv-uniform`) drive the
 //! `triad-kv` transactional store fleet and verify recovery against an
-//! in-DRAM oracle. Emits `BENCH_pr6.json` (deterministic: running
-//! twice with the same seed is byte-identical) plus a human-readable
-//! table.
+//! in-DRAM oracle. Four serving rows (`fleet-1/2/4`, `fleet-nogc`)
+//! drive the sharded [`KvService`] front-end on the same seeded
+//! request schedule and measure aggregate throughput vs. shard count
+//! and the commit-marker amortization of group commit (window 8 vs.
+//! the unbatched window-1 `fleet-nogc` row). Emits `BENCH_pr8.json`
+//! (deterministic: running twice with the same seed is byte-identical)
+//! plus a human-readable table.
 //!
 //! Since PR 6 the matrix runs over the batched write path: trace cells
 //! enable an 8-deep persist write-combining window
@@ -25,13 +29,39 @@
 //!
 //! `--smoke` shrinks the matrix (two workloads, fewer ops) for CI.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use triad_core::{PersistScheme, SecureMemoryBuilder, System};
 use triad_sim::config::SystemConfig;
 use triad_sim::stats::Histogram;
 use triad_workloads::kv::{generate_history, oracle_apply, KvFleet, KvSpec, Model};
+use triad_workloads::service::{generate_requests, KvService, Request, Response, ServiceSpec};
 use triad_workloads::{build_workload, WorkloadEnv};
+
+/// The serving-layer extras a fleet row carries on top of the common
+/// cell columns: shard geometry and group-commit amortization.
+struct FleetExtra {
+    shards: u64,
+    group_window: usize,
+    mutations: u64,
+    group_flushes: u64,
+    log_records: u64,
+    commit_markers: u64,
+    shed: u64,
+}
+
+impl FleetExtra {
+    /// Commit-marker persists per applied mutation — 1.0 on the
+    /// unbatched path, 1/window under perfect group commit.
+    fn markers_per_mutation(&self) -> f64 {
+        if self.mutations == 0 {
+            0.0
+        } else {
+            self.commit_markers as f64 / self.mutations as f64
+        }
+    }
+}
 
 /// One (workload, scheme) cell of the matrix.
 struct Cell {
@@ -47,6 +77,8 @@ struct Cell {
     recovered: bool,
     recovery_blocks_read: u64,
     recovery_ns: u64,
+    /// `Some` on the serving-fleet rows only.
+    fleet: Option<FleetExtra>,
 }
 
 /// The report runs on a small machine (tiny caches, 16 MiB NVM) so the
@@ -110,6 +142,7 @@ fn run_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) 
         recovered: report.persistent_recovered,
         recovery_blocks_read: report.persistent_blocks_read + report.non_persistent_blocks_read,
         recovery_ns: report.estimated_duration.as_ns(),
+        fleet: None,
     }
 }
 
@@ -178,6 +211,104 @@ fn run_kv_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u6
         recovered,
         recovery_blocks_read,
         recovery_ns,
+        fleet: None,
+    }
+}
+
+/// A serving-fleet cell: the same seeded request schedule pushed
+/// through the sharded [`KvService`] front-end (keyed-hash routing,
+/// group commit, worker threads). Throughput is aggregate: total
+/// requests over the *slowest shard's* simulated clock, so the
+/// `fleet-1` → `fleet-4` rows measure shard-count scaling, and the
+/// window-1 `fleet-nogc` row isolates what group commit buys
+/// (`markers_per_mutation` is the amortization headline). Latency
+/// samples are per-request averages over 64-request submit chunks on
+/// that slowest-shard clock. Recovery crashes shard 0 after the run,
+/// replays its WAL, and demands the merged durable state still equal
+/// the in-DRAM oracle exactly.
+fn run_fleet_cell(
+    workload: &'static str,
+    shards: u64,
+    group_window: usize,
+    ops: u64,
+    seed: u64,
+) -> Cell {
+    let spec = ServiceSpec {
+        shards,
+        group_window,
+        buckets: 256,
+        key_seed: seed,
+        config: Some(report_config()),
+        ..ServiceSpec::new(shards)
+    };
+    let mut svc = KvService::create(&spec).expect("fleet create");
+    let reqs = generate_requests(seed, ops as usize, 1024, (8, 64));
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut latency = Histogram::new();
+    let t0 = svc.max_shard_time();
+    for chunk in reqs.chunks(64) {
+        let c0 = svc.max_shard_time();
+        let resps = svc.submit(chunk).expect("clean fleet run");
+        latency.record(svc.max_shard_time().since(c0).as_ns() / chunk.len() as u64);
+        for (req, resp) in chunk.iter().zip(&resps) {
+            match (req, resp) {
+                (Request::Put { key, value }, Response::Done) => {
+                    model.insert(*key, value.clone());
+                }
+                (Request::Delete { key }, Response::Done) => {
+                    model.remove(key);
+                }
+                _ => {}
+            }
+        }
+    }
+    let elapsed = svc.max_shard_time().since(t0).as_secs_f64();
+    let (mut nvm_writes, mut pmw, mut emw, mut wpq) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..svc.shard_count() {
+        let mem = svc.shard_mem(i).expect("shard in range");
+        nvm_writes += mem.mem_stats().writes;
+        pmw += mem.stats().persist_metadata_writes();
+        emw += mem.stats().evict_metadata_writes();
+        wpq += mem.mem_stats().wpq_full_events;
+    }
+    let groups = svc.merged_group_stats();
+
+    svc.shard_mem_mut(0).expect("shard 0").crash();
+    let (recovered, recovery_blocks_read, recovery_ns) = match svc.recover_shard(0) {
+        Ok(report) => (
+            report.persistent_recovered && svc.dump().map(|state| state == model).unwrap_or(false),
+            report.persistent_blocks_read + report.non_persistent_blocks_read,
+            report.estimated_duration.as_ns(),
+        ),
+        Err(_) => (false, 0, 0),
+    };
+
+    Cell {
+        workload,
+        scheme: spec.scheme,
+        ops: reqs.len() as u64,
+        throughput: if elapsed > 0.0 {
+            reqs.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency,
+        nvm_writes,
+        persist_metadata_writes: pmw,
+        evict_metadata_writes: emw,
+        wpq_full_events: wpq,
+        recovered,
+        recovery_blocks_read,
+        recovery_ns,
+        fleet: Some(FleetExtra {
+            shards,
+            group_window,
+            mutations: groups.ops,
+            group_flushes: groups.flushes,
+            log_records: groups.log_records,
+            commit_markers: groups.commit_markers,
+            shed: groups.shed,
+        }),
     }
 }
 
@@ -211,7 +342,7 @@ fn render_json(cells: &[Cell], ops: u64, seed: u64, smoke: bool) -> String {
              \"p50\": {}, \"p95\": {}, \"p99\": {} }}, \
              \"nvm_writes\": {}, \"persist_metadata_writes\": {}, \
              \"evict_metadata_writes\": {}, \"wpq_full_events\": {}, \
-             \"recovery\": {{ \"recovered\": {}, \"blocks_read\": {}, \"time_ns\": {} }} }}",
+             \"recovery\": {{ \"recovered\": {}, \"blocks_read\": {}, \"time_ns\": {} }}",
             json_escape(c.workload),
             json_escape(&c.scheme.to_string()),
             c.ops,
@@ -231,6 +362,23 @@ fn render_json(cells: &[Cell], ops: u64, seed: u64, smoke: bool) -> String {
             c.recovery_blocks_read,
             c.recovery_ns,
         );
+        if let Some(f) = &c.fleet {
+            let _ = write!(
+                out,
+                ", \"fleet\": {{ \"shards\": {}, \"group_window\": {}, \"mutations\": {}, \
+                 \"group_flushes\": {}, \"log_records\": {}, \"commit_markers\": {}, \
+                 \"markers_per_mutation\": {:.4}, \"shed\": {} }}",
+                f.shards,
+                f.group_window,
+                f.mutations,
+                f.group_flushes,
+                f.log_records,
+                f.commit_markers,
+                f.markers_per_mutation(),
+                f.shed,
+            );
+        }
+        out.push_str(" }");
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -266,7 +414,7 @@ fn print_table(cells: &[Cell]) {
 fn main() {
     let mut smoke = false;
     let mut ops: Option<u64> = None;
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut seed: u64 = 42;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -320,6 +468,20 @@ fn main() {
                 run_cell(w, s, ops, seed)
             });
         }
+    }
+
+    // The serving rows sweep shard count (not scheme) on one seeded
+    // request schedule: `fleet-1/2/4` share a window-8 group commit so
+    // their throughput column is the scaling curve, and `fleet-nogc`
+    // repeats `fleet-4` unbatched (window 1) so the
+    // `markers_per_mutation` gap is group commit's amortization.
+    for (label, shards, window) in [
+        ("fleet-1", 1, 8),
+        ("fleet-2", 2, 8),
+        ("fleet-4", 4, 8),
+        ("fleet-nogc", 4, 1),
+    ] {
+        cells.push(run_fleet_cell(label, shards, window, ops, seed));
     }
 
     print_table(&cells);

@@ -24,6 +24,16 @@ fn builder_accessors_round_trip() {
 }
 
 #[test]
+fn secure_memory_is_send() {
+    // The sharded KV serving layer moves one engine per shard onto a
+    // worker thread (`triad_workloads::service`); this pin keeps the
+    // engine free of thread-bound state (`Rc`, `RefCell`, raw
+    // pointers) so that stays possible.
+    fn assert_send<T: Send>() {}
+    assert_send::<triad_core::SecureMemory>();
+}
+
+#[test]
 fn region_handles_partition_the_data_space() {
     let m = SecureMemoryBuilder::new().build().unwrap();
     let p = m.persistent_region();

@@ -61,7 +61,7 @@ pub mod store;
 
 pub use heap::{HeapError, PersistentHeap};
 pub use log::RedoLog;
-pub use store::{recover_store, KvConfig, KvStats, KvStore};
+pub use store::{recover_store, GroupReceipt, KvConfig, KvStats, KvStore};
 
 /// Errors of the KV store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +81,13 @@ pub enum KvError {
     },
     /// A transaction exceeded the write-ahead-log capacity.
     LogFull,
+    /// A fleet was asked for more shards than the directory supports.
+    TooManyShards {
+        /// The rejected shard count.
+        requested: u64,
+        /// The largest fleet the directory chain can describe.
+        max: u64,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -96,6 +103,12 @@ impl fmt::Display for KvError {
                 )
             }
             KvError::LogFull => write!(f, "transaction exceeds write-ahead-log capacity"),
+            KvError::TooManyShards { requested, max } => {
+                write!(
+                    f,
+                    "fleet of {requested} shards exceeds the directory max of {max}"
+                )
+            }
         }
     }
 }
@@ -145,6 +158,12 @@ mod error_surface {
         };
         assert!(e.to_string().contains("9000"));
         assert!(e.source().is_none());
+        let shards = KvError::TooManyShards {
+            requested: 65,
+            max: 64,
+        };
+        assert!(shards.to_string().contains("65"));
+        assert!(shards.source().is_none());
         let wrapped = KvError::from(HeapError::OutOfSpace);
         assert_eq!(wrapped, KvError::Heap(HeapError::OutOfSpace));
         assert!(wrapped.source().is_some());

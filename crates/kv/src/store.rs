@@ -102,6 +102,10 @@ pub struct KvStats {
     pub txns_committed: u64,
     /// Write records appended to the log.
     pub log_records: u64,
+    /// Group-commit flushes (each persisted exactly one commit marker).
+    pub group_commits: u64,
+    /// Key mutations carried by group-commit flushes.
+    pub group_ops: u64,
 }
 
 impl StatRegister for KvStats {
@@ -114,6 +118,25 @@ impl StatRegister for KvStats {
         scope.set("scans", self.scans);
         scope.set("txns_committed", self.txns_committed);
         scope.set("log_records", self.log_records);
+        scope.set("group_commits", self.group_commits);
+        scope.set("group_ops", self.group_ops);
+    }
+}
+
+impl KvStats {
+    /// Merges another shard's counters into this one (field-wise sum;
+    /// deterministic regardless of shard visit order).
+    pub fn merge(&mut self, other: &KvStats) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.get_hits += other.get_hits;
+        self.deletes += other.deletes;
+        self.delete_hits += other.delete_hits;
+        self.scans += other.scans;
+        self.txns_committed += other.txns_committed;
+        self.log_records += other.log_records;
+        self.group_commits += other.group_commits;
+        self.group_ops += other.group_ops;
     }
 }
 
@@ -121,6 +144,24 @@ impl StatRegister for KvStats {
 /// byte offset of the 8-byte pointer inside it (a bucket slot or a
 /// predecessor entry's `next` field).
 type Holder = (PhysAddr, usize);
+
+/// Staged-but-unlogged writes of a group commit, keyed by block
+/// address: reads during write-set computation consult this first so a
+/// later mutation in the group sees the chains an earlier one built.
+type Overlay = BTreeMap<u64, [u8; BLOCK_BYTES]>;
+
+/// What one [`KvStore::apply_group`] flush did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupReceipt {
+    /// Key mutations the group carried.
+    pub ops: u64,
+    /// Redo write records appended (coalesced: one per distinct block).
+    pub log_records: u64,
+    /// Commit markers persisted — 1 when anything was written, else 0.
+    /// The whole point of group commit: this stays 1 no matter how
+    /// many mutations the group carries.
+    pub commit_markers: u64,
+}
 
 /// A chain hit: the holder that points at the entry, the entry's block
 /// 0 address, and the entry's own `next` pointer.
@@ -281,15 +322,42 @@ impl KvStore {
         (addr, (bucket % 8) as usize * 8)
     }
 
+    /// Reads a block through a group-commit overlay: staged writes win
+    /// over NVM contents, so chain walks during staging see the group's
+    /// own earlier mutations.
+    fn read_through(
+        &self,
+        mem: &mut SecureMemory,
+        overlay: &Overlay,
+        addr: PhysAddr,
+    ) -> Result<[u8; BLOCK_BYTES]> {
+        if let Some(block) = overlay.get(&addr.0) {
+            return Ok(*block);
+        }
+        Ok(mem.read(addr)?)
+    }
+
     /// Walks the chain from `key`'s bucket. Returns the chain head and,
     /// when the key exists, its [`ChainHit`].
     fn find(&self, mem: &mut SecureMemory, key: u64) -> Result<(u64, Option<ChainHit>)> {
+        self.find_in(mem, &Overlay::new(), key)
+    }
+
+    /// [`KvStore::find`] through a staging overlay: reads consult the
+    /// overlay first, so a put staged earlier in the same group is
+    /// found (and correctly replaced or unlinked) by a later mutation.
+    fn find_in(
+        &self,
+        mem: &mut SecureMemory,
+        overlay: &Overlay,
+        key: u64,
+    ) -> Result<(u64, Option<ChainHit>)> {
         let slot = self.slot_of(key);
-        let head = read_u64(&mem.read(slot.0)?, slot.1);
+        let head = read_u64(&self.read_through(mem, overlay, slot.0)?, slot.1);
         let mut holder = slot;
         let mut ptr = head;
         while ptr != 0 {
-            let block0 = mem.read(PhysAddr(ptr))?;
+            let block0 = self.read_through(mem, overlay, PhysAddr(ptr))?;
             let next = read_u64(&block0, ENT_NEXT);
             if read_u64(&block0, ENT_KEY) == key {
                 return Ok((
@@ -496,6 +564,152 @@ impl KvStore {
             ],
         );
         Ok(true)
+    }
+
+    /// Stages a put into `overlay`: allocates and fills the entry
+    /// blocks and patches the linking pointer, all as overlay entries —
+    /// nothing is logged or applied yet.
+    fn stage_put(
+        &mut self,
+        mem: &mut SecureMemory,
+        overlay: &mut Overlay,
+        key: u64,
+        value: &[u8],
+    ) -> Result<()> {
+        if value.len() > self.max_value_bytes() {
+            return Err(KvError::ValueTooLarge {
+                len: value.len(),
+                max: self.max_value_bytes(),
+            });
+        }
+        let (head, found) = self.find_in(mem, overlay, key)?;
+        let n_blocks = Self::entry_blocks(value.len());
+        let base = self.heap.alloc_blocks(mem, n_blocks)?;
+
+        let next = found.as_ref().map_or(head, |f| f.next);
+        let mut block0 = [0u8; BLOCK_BYTES];
+        block0[ENT_KEY..ENT_KEY + 8].copy_from_slice(&key.to_le_bytes());
+        block0[ENT_NEXT..ENT_NEXT + 8].copy_from_slice(&next.to_le_bytes());
+        block0[ENT_VLEN..ENT_VLEN + 8].copy_from_slice(&(value.len() as u64).to_le_bytes());
+        let inline = value.len().min(INLINE_BYTES);
+        block0[ENT_INLINE..ENT_INLINE + inline].copy_from_slice(&value[..inline]);
+        overlay.insert(base.0, block0);
+        for (i, chunk) in value[inline..].chunks(BLOCK_BYTES).enumerate() {
+            let mut block = [0u8; BLOCK_BYTES];
+            block[..chunk.len()].copy_from_slice(chunk);
+            overlay.insert(base.0 + (i as u64 + 1) * BLOCK_BYTES as u64, block);
+        }
+        let (haddr, hoff) = found
+            .as_ref()
+            .map_or_else(|| self.slot_of(key), |f| f.holder);
+        let mut hblock = self.read_through(mem, overlay, haddr)?;
+        hblock[hoff..hoff + 8].copy_from_slice(&base.0.to_le_bytes());
+        overlay.insert(haddr.0, hblock);
+        Ok(())
+    }
+
+    /// Stages a delete into `overlay` (the unlinking pointer write).
+    /// Returns whether the key was present — in NVM or staged earlier
+    /// in the same group.
+    fn stage_delete(
+        &mut self,
+        mem: &mut SecureMemory,
+        overlay: &mut Overlay,
+        key: u64,
+    ) -> Result<bool> {
+        let (_, found) = self.find_in(mem, overlay, key)?;
+        let Some(hit) = found else {
+            return Ok(false);
+        };
+        let (haddr, hoff) = hit.holder;
+        let mut hblock = self.read_through(mem, overlay, haddr)?;
+        hblock[hoff..hoff + 8].copy_from_slice(&hit.next.to_le_bytes());
+        overlay.insert(haddr.0, hblock);
+        Ok(true)
+    }
+
+    /// Group commit: applies a whole batch of key mutations (`Some` =
+    /// put, `None` = delete) as **one** redo transaction with **one**
+    /// commit marker — the per-transaction marker persist that
+    /// dominates small-put cost is amortized across the group.
+    ///
+    /// Mutations are staged left to right against an overlay, so the
+    /// result is exactly the serial execution of the batch (duplicate
+    /// keys resolve last-wins, a delete removes a put staged earlier in
+    /// the same group). Writes to the same block coalesce: the group's
+    /// redo footprint is one record per distinct block touched. The
+    /// group is crash-atomic as a unit — a crash before the marker
+    /// discards every mutation, after it recovery redoes them all.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::ValueTooLarge`] per oversized value;
+    /// [`KvError::LogFull`] when the coalesced write set exceeds the
+    /// log (retry with a smaller group). Either way nothing was logged
+    /// or applied: failed groups only leak staged heap blocks, which
+    /// the bump allocator tolerates by design.
+    pub fn apply_group(
+        &mut self,
+        mem: &mut SecureMemory,
+        muts: &[(u64, Option<Vec<u8>>)],
+    ) -> Result<GroupReceipt> {
+        let mut overlay = Overlay::new();
+        let mut staged_puts = 0u64;
+        let mut staged_deletes = 0u64;
+        let mut staged_delete_hits = 0u64;
+        for (key, value) in muts {
+            match value {
+                Some(v) => {
+                    self.stage_put(mem, &mut overlay, *key, v)?;
+                    staged_puts += 1;
+                }
+                None => {
+                    staged_deletes += 1;
+                    if self.stage_delete(mem, &mut overlay, *key)? {
+                        staged_delete_hits += 1;
+                    }
+                }
+            }
+        }
+        if overlay.is_empty() {
+            // All-miss deletes (or an empty batch): nothing to make
+            // durable, no marker burned.
+            self.stats.deletes += staged_deletes;
+            return Ok(GroupReceipt {
+                ops: muts.len() as u64,
+                log_records: 0,
+                commit_markers: 0,
+            });
+        }
+        let writes: Vec<(PhysAddr, [u8; BLOCK_BYTES])> = overlay
+            .iter()
+            .map(|(addr, block)| (PhysAddr(*addr), *block))
+            .collect();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log_txn(mem, seq, &writes)?;
+        self.apply_writes(mem, &writes)?;
+        self.log.rewind();
+        self.stats.puts += staged_puts;
+        self.stats.deletes += staged_deletes;
+        self.stats.delete_hits += staged_delete_hits;
+        self.stats.group_commits += 1;
+        self.stats.group_ops += muts.len() as u64;
+        emit(
+            &self.events,
+            mem.now(),
+            kind::KV_GROUP_COMMIT,
+            &[
+                ("seq", seq.into()),
+                ("ops", muts.len().into()),
+                ("writes", writes.len().into()),
+            ],
+        );
+        Ok(GroupReceipt {
+            ops: muts.len() as u64,
+            log_records: writes.len() as u64,
+            commit_markers: 1,
+        })
     }
 
     /// Returns every (key, value) pair, sorted by key.
@@ -731,13 +945,12 @@ mod tests {
 
     #[test]
     fn events_are_emitted_for_mutations() {
-        use std::cell::RefCell;
         use std::io::Write;
-        use std::rc::Rc;
-        struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+        use std::sync::{Arc, Mutex};
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
         impl Write for SharedBuf {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(buf);
+                self.0.lock().unwrap().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
@@ -746,11 +959,11 @@ mod tests {
         }
         let mut m = mem();
         let mut kv = fresh(&mut m);
-        let buf = Rc::new(RefCell::new(Vec::new()));
+        let buf = Arc::new(Mutex::new(Vec::new()));
         kv.set_event_sink(EventSink::shared(Box::new(SharedBuf(buf.clone()))));
         kv.put(&mut m, 1, b"x").unwrap();
         kv.delete(&mut m, 1).unwrap();
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert!(text.contains("\"event\":\"kv_put\""));
         assert!(text.contains("\"event\":\"kv_txn_commit\""));
         assert!(text.contains("\"event\":\"kv_delete\""));
@@ -763,11 +976,184 @@ mod tests {
         let mut kv = fresh(&mut m);
         kv.put(&mut m, 1, b"x").unwrap();
         kv.scan(&mut m).unwrap();
+        kv.apply_group(&mut m, &[(2, Some(b"y".to_vec()))]).unwrap();
         let mut reg = StatRegistry::new();
         kv.stats().register(&mut reg.scope("kv"));
-        assert_eq!(reg.counter("kv.puts"), 1);
+        assert_eq!(reg.counter("kv.puts"), 2);
         assert_eq!(reg.counter("kv.scans"), 1);
-        assert_eq!(reg.counter("kv.txns_committed"), 1);
+        assert_eq!(reg.counter("kv.txns_committed"), 2);
+        assert_eq!(reg.counter("kv.group_commits"), 1);
+        assert_eq!(reg.counter("kv.group_ops"), 1);
         assert!(reg.counter("kv.log_records") >= 2);
+    }
+
+    /// Two distinct fresh keys sharing `k`'s bucket slot — the chain
+    /// case where staging against stale NVM state (no overlay) would
+    /// silently drop all but the last insert.
+    fn same_slot_keys(kv: &KvStore, from: u64) -> (u64, u64) {
+        let a = from;
+        let slot = kv.slot_of(a);
+        let b = (a + 1..).find(|&k| kv.slot_of(k) == slot).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn group_commit_is_serially_equivalent_with_one_marker() {
+        let mut serial_m = mem();
+        let mut serial = fresh(&mut serial_m);
+        let mut grouped_m = mem();
+        let mut grouped = fresh(&mut grouped_m);
+
+        let (a, b) = same_slot_keys(&serial, 100);
+        // Same-bucket fresh inserts, an overwrite of a key put earlier
+        // in the same group (last-wins), a put+delete of one key, and a
+        // delete miss — the full staging surface.
+        let ops: Vec<(u64, Option<Vec<u8>>)> = vec![
+            (a, Some(b"first".to_vec())),
+            (b, Some(b"second".to_vec())),
+            (a, Some(b"rewritten".to_vec())),
+            (7, Some(b"doomed".to_vec())),
+            (7, None),
+            (9999, None),
+        ];
+        for (k, v) in &ops {
+            match v {
+                Some(v) => serial.put(&mut serial_m, *k, v).unwrap(),
+                None => {
+                    serial.delete(&mut serial_m, *k).unwrap();
+                }
+            }
+        }
+        let receipt = grouped.apply_group(&mut grouped_m, &ops).unwrap();
+
+        assert_eq!(
+            serial.scan(&mut serial_m).unwrap(),
+            grouped.scan(&mut grouped_m).unwrap()
+        );
+        assert_eq!(receipt.ops, 6);
+        assert_eq!(receipt.commit_markers, 1, "one marker for the whole group");
+        assert!(receipt.log_records >= 4);
+        let (s, g) = (serial.stats(), grouped.stats());
+        assert_eq!(s.txns_committed, 5, "serial: one marker per mutation");
+        assert_eq!(g.txns_committed, 1, "grouped: one marker total");
+        assert_eq!(
+            (g.puts, g.deletes, g.delete_hits),
+            (s.puts, s.deletes, s.delete_hits)
+        );
+        assert_eq!((g.group_commits, g.group_ops), (1, 6));
+        assert_eq!((s.group_commits, s.group_ops), (0, 0));
+    }
+
+    #[test]
+    fn empty_and_all_miss_groups_burn_no_marker() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        let r = kv.apply_group(&mut m, &[]).unwrap();
+        assert_eq!(r, GroupReceipt::default());
+        let r = kv.apply_group(&mut m, &[(5, None), (6, None)]).unwrap();
+        assert_eq!((r.ops, r.log_records, r.commit_markers), (2, 0, 0));
+        let s = kv.stats();
+        assert_eq!((s.txns_committed, s.deletes, s.group_commits), (0, 2, 0));
+    }
+
+    #[test]
+    fn group_crash_before_marker_discards_every_mutation() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"old").unwrap();
+        // Group persist schedule: one heap-cursor persist per put, then
+        // 2 persists per redo record, then the marker. Crash mid-append,
+        // after the allocations and the first record block.
+        m.inject_crash_after_persists(3);
+        let ops = vec![(1, Some(b"new".to_vec())), (2, Some(b"two".to_vec()))];
+        assert_eq!(
+            kv.apply_group(&mut m, &ops).unwrap_err(),
+            KvError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        let (mut kv, report) = recover_store(&mut m).unwrap();
+        assert_eq!(report.log_replay.unwrap().txns_applied, 0);
+        assert_eq!(kv.get(&mut m, 1).unwrap().as_deref(), Some(&b"old"[..]));
+        assert_eq!(kv.get(&mut m, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn group_crash_after_marker_redoes_every_mutation() {
+        // Twin run to learn the group's coalesced record count, so the
+        // crash boundary lands exactly on the first in-place apply.
+        let ops = vec![(1u64, Some(b"new".to_vec())), (2, Some(b"two".to_vec()))];
+        let mut twin_m = mem();
+        let mut twin = fresh(&mut twin_m);
+        twin.put(&mut twin_m, 1, b"old").unwrap();
+        let receipt = twin.apply_group(&mut twin_m, &ops).unwrap();
+
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"old").unwrap();
+        // 2 alloc persists + 2 per record + 1 marker, then apply.
+        m.inject_crash_after_persists(2 + 2 * receipt.log_records + 1);
+        assert_eq!(
+            kv.apply_group(&mut m, &ops).unwrap_err(),
+            KvError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        let (mut kv, report) = recover_store(&mut m).unwrap();
+        assert_eq!(
+            report.log_replay.unwrap().txns_applied,
+            1,
+            "committed group must be redone as a unit"
+        );
+        assert_eq!(kv.get(&mut m, 1).unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(kv.get(&mut m, 2).unwrap().as_deref(), Some(&b"two"[..]));
+    }
+
+    #[test]
+    fn oversized_group_reports_log_full_and_stays_clean() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"keep").unwrap();
+        // Enough distinct single-block puts to overflow a 32-block log
+        // (each fresh key adds an entry record + a holder record).
+        let ops: Vec<(u64, Option<Vec<u8>>)> =
+            (100..140u64).map(|k| (k, Some(vec![k as u8]))).collect();
+        assert_eq!(kv.apply_group(&mut m, &ops).unwrap_err(), KvError::LogFull);
+        // Nothing logged or applied: the store still works and holds
+        // exactly the pre-group state.
+        assert_eq!(kv.scan(&mut m).unwrap(), vec![(1, b"keep".to_vec())]);
+        kv.put(&mut m, 2, b"after").unwrap();
+        assert_eq!(kv.get(&mut m, 2).unwrap().as_deref(), Some(&b"after"[..]));
+    }
+
+    #[test]
+    fn group_commit_emits_one_group_event() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        kv.set_event_sink(EventSink::shared(Box::new(SharedBuf(buf.clone()))));
+        kv.apply_group(
+            &mut m,
+            &[(1, Some(b"x".to_vec())), (2, Some(b"y".to_vec()))],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text.matches("\"event\":\"kv_group_commit\"").count(),
+            1,
+            "one group event per flush:\n{text}"
+        );
+        assert!(text.contains("\"ops\":2"));
+        // The per-op kv_put events are not emitted on the group path;
+        // the group event is the trace record.
+        assert!(!text.contains("\"event\":\"kv_put\""));
     }
 }

@@ -563,14 +563,13 @@ mod tests {
 
     #[test]
     fn event_sink_records_wpq_lifecycle() {
-        use std::cell::RefCell;
         use std::io;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
-        struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
         impl io::Write for SharedBuf {
             fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(buf);
+                self.0.lock().unwrap().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> io::Result<()> {
@@ -578,7 +577,7 @@ mod tests {
             }
         }
 
-        let buf = Rc::new(RefCell::new(Vec::new()));
+        let buf = Arc::new(Mutex::new(Vec::new()));
         let mut m = mc();
         m.set_event_sink(triad_sim::events::EventSink::shared(Box::new(SharedBuf(
             buf.clone(),
@@ -586,7 +585,7 @@ mod tests {
         m.write(BlockAddr(1), [1; 64], Time::ZERO);
         m.write(BlockAddr(1), [2; 64], Time::ZERO); // coalesces
         m.wpq_occupancy(Time::from_ns(100_000)); // drains
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert!(text.contains("\"event\":\"wpq_enqueue\""), "{text}");
         assert!(text.contains("\"event\":\"wpq_coalesce\""), "{text}");
         assert!(text.contains("\"event\":\"wpq_drain\""), "{text}");

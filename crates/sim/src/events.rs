@@ -16,10 +16,9 @@
 //! diffable between runs.
 
 use crate::time::Time;
-use std::cell::RefCell;
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A single typed field value in an event record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +85,7 @@ fn write_json_str(out: &mut String, s: &str) {
 /// sink instead of panicking: tracing is diagnostics, not simulation
 /// state, and must never abort a run.
 pub struct EventSink {
-    writer: Box<dyn Write>,
+    writer: Box<dyn Write + Send>,
     emitted: u64,
     failed: bool,
 }
@@ -102,7 +101,7 @@ impl fmt::Debug for EventSink {
 
 impl EventSink {
     /// Wraps a writer (a file, a `Vec<u8>`, ...).
-    pub fn new(writer: Box<dyn Write>) -> Self {
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
         EventSink {
             writer,
             emitted: 0,
@@ -111,9 +110,10 @@ impl EventSink {
     }
 
     /// A shared, reference-counted sink handle that several components
-    /// can emit into.
-    pub fn shared(writer: Box<dyn Write>) -> SharedEventSink {
-        Rc::new(RefCell::new(EventSink::new(writer)))
+    /// can emit into — `Send`, so a sink can accompany a shard engine
+    /// onto a worker thread.
+    pub fn shared(writer: Box<dyn Write + Send>) -> SharedEventSink {
+        Arc::new(Mutex::new(EventSink::new(writer)))
     }
 
     /// Number of records successfully written so far.
@@ -175,18 +175,29 @@ pub mod kind {
     /// A KV transaction's commit marker persisted (fields: `seq`,
     /// `writes`).
     pub const KV_TXN_COMMIT: &str = "kv_txn_commit";
+    /// A group commit flushed: one commit marker covering a whole
+    /// batch of key mutations (fields: `seq`, `ops`, `writes`).
+    pub const KV_GROUP_COMMIT: &str = "kv_group_commit";
     /// A KV store replayed its write-ahead log at open (fields:
     /// `records_scanned`, `txns_applied`, `torn_tail`).
     pub const KV_REPLAY: &str = "kv_replay";
 }
 
 /// The handle components store: cheap to clone, absent by default.
-pub type SharedEventSink = Rc<RefCell<EventSink>>;
+/// `Arc<Mutex<..>>` (not `Rc<RefCell<..>>`) so an engine that holds a
+/// sink stays `Send` and can live on a shard worker thread; emitters
+/// on one shard never contend because each shard owns its own sink.
+pub type SharedEventSink = Arc<Mutex<EventSink>>;
 
-/// Emits into an optional shared sink; no-op when tracing is off.
+/// Emits into an optional shared sink; no-op when tracing is off. A
+/// poisoned sink mutex (a panicking emitter elsewhere) silences the
+/// sink rather than propagating the panic: tracing is diagnostics,
+/// not simulation state.
 pub fn emit(sink: &Option<SharedEventSink>, t: Time, event: &str, fields: &[(&str, Value)]) {
     if let Some(s) = sink {
-        s.borrow_mut().emit(t, event, fields);
+        if let Ok(mut sink) = s.lock() {
+            sink.emit(t, event, fields);
+        }
     }
 }
 
@@ -196,10 +207,10 @@ mod tests {
     use std::io;
 
     /// A Vec-backed writer we can inspect after the sink is dropped.
-    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
     impl Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> io::Result<()> {
@@ -207,8 +218,8 @@ mod tests {
         }
     }
 
-    fn capture() -> (SharedEventSink, Rc<RefCell<Vec<u8>>>) {
-        let buf = Rc::new(RefCell::new(Vec::new()));
+    fn capture() -> (SharedEventSink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
         let sink = EventSink::shared(Box::new(SharedBuf(buf.clone())));
         (sink, buf)
     }
@@ -228,26 +239,36 @@ mod tests {
             "crash",
             &[("injected", true.into()), ("phase", "run".into())],
         );
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert_eq!(
             text,
             "{\"t_ps\":77500,\"event\":\"wpq_enqueue\",\"addr\":64,\"occupancy\":1}\n\
              {\"t_ps\":80000,\"event\":\"crash\",\"injected\":true,\"phase\":\"run\"}\n"
         );
-        assert_eq!(sink.borrow().emitted(), 2);
-        assert!(!sink.borrow().failed());
+        assert_eq!(sink.lock().unwrap().emitted(), 2);
+        assert!(!sink.lock().unwrap().failed());
     }
 
     #[test]
     fn escapes_strings() {
         let (sink, buf) = capture();
-        sink.borrow_mut()
+        sink.lock()
+            .unwrap()
             .emit(Time::ZERO, "note", &[("msg", "a\"b\\c\nd\te\u{1}".into())]);
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert_eq!(
             text,
             "{\"t_ps\":0,\"event\":\"note\",\"msg\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}\n"
         );
+    }
+
+    #[test]
+    fn shared_sinks_are_send() {
+        // The sharded serving layer moves engines (which hold an
+        // optional sink) onto worker threads; the handle must be Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedEventSink>();
+        assert_send::<Option<SharedEventSink>>();
     }
 
     #[test]

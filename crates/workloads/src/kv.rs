@@ -71,7 +71,8 @@ impl KvMix {
 /// Everything that determines a KV history and its fleet geometry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvSpec {
-    /// Store shards (1..=7; the directory block holds 7 pointers).
+    /// Store shards (1..=[`MAX_SHARDS`]; the directory chains across
+    /// blocks as needed).
     pub shards: u64,
     /// Operations in the history.
     pub ops: u64,
@@ -247,9 +248,33 @@ pub enum OpOutcome {
     Scanned(Vec<(u64, Vec<u8>)>),
 }
 
+/// The largest fleet the directory chain will describe. Far above any
+/// simulated geometry; the bound exists so `open` can reject a
+/// corrupt count word before walking garbage.
+pub const MAX_SHARDS: u64 = 64;
+
+/// Shard superblock addresses the first directory block holds next to
+/// the count word (words 1..=6; word 7 chains to the next block).
+const DIR_FIRST_ADDRS: usize = 6;
+/// Addresses per continuation block (words 0..=6; word 7 chains).
+const DIR_CHAIN_ADDRS: usize = 7;
+/// Byte offset of a directory block's chain pointer (word 7).
+const DIR_NEXT_OFF: usize = 56;
+
+/// Routes a history shard id onto a fleet index: modulo in u64
+/// *before* narrowing. The narrowing-first form (`s as usize % len`)
+/// truncates ids ≥ 2^32 on 32-bit targets ahead of the modulo, which
+/// silently reroutes them whenever the fleet size is not a power of
+/// two.
+fn route_shard(s: u64, shards: usize) -> usize {
+    (s % shards.max(1) as u64) as usize
+}
+
 /// A fleet of KV shards on one secure memory, published through a
-/// directory block at the heap root (`count @0`, shard superblock
-/// addresses `@8..`; at most 7 shards per block).
+/// directory chain at the heap root: the first block holds the shard
+/// count (word 0), up to 6 superblock addresses (words 1..=6) and a
+/// chain pointer (word 7); continuation blocks hold 7 addresses plus
+/// the chain pointer.
 #[derive(Debug)]
 pub struct KvFleet {
     heap: PersistentHeap,
@@ -265,28 +290,104 @@ impl KvFleet {
     }
 
     /// Formats the heap and creates `spec.shards` stores, publishing
-    /// the directory durably before returning.
+    /// the directory chain durably before returning.
     ///
     /// # Errors
     ///
-    /// Heap/memory errors; shard counts above 7 are clamped.
+    /// [`KvError::TooManyShards`] above [`MAX_SHARDS`] — never a
+    /// silent clamp; heap/memory errors otherwise.
     pub fn create(mem: &mut SecureMemory, spec: &KvSpec) -> Result<KvFleet, KvError> {
+        let count = spec.shards.max(1);
+        if count > MAX_SHARDS {
+            return Err(KvError::TooManyShards {
+                requested: count,
+                max: MAX_SHARDS,
+            });
+        }
         let heap = PersistentHeap::format(mem)?;
         let dir = heap.alloc_blocks(mem, 1)?;
-        let count = spec.shards.clamp(1, 7);
         let mut shards = Vec::with_capacity(count as usize);
-        let mut dir_block = [0u8; BLOCK_BYTES];
-        dir_block[..8].copy_from_slice(&count.to_le_bytes());
-        for i in 0..count {
+        let mut supers = Vec::with_capacity(count as usize);
+        for _ in 0..count {
             let store = KvStore::create(mem, heap, Self::shard_cfg(spec))?;
-            let off = 8 + i as usize * 8;
-            dir_block[off..off + 8].copy_from_slice(&store.superblock().0.to_le_bytes());
+            supers.push(store.superblock().0);
             shards.push(store);
         }
-        mem.write(dir, &dir_block)?;
-        mem.persist(dir)?;
+        // Build the directory chain in DRAM first (continuation blocks
+        // are allocated as needed, so each block can name its
+        // successor), then write it out and persist before the heap
+        // root publishes it.
+        let mut blocks: Vec<(PhysAddr, [u8; BLOCK_BYTES])> = Vec::new();
+        let mut first = [0u8; BLOCK_BYTES];
+        first[..8].copy_from_slice(&count.to_le_bytes());
+        let head = supers.len().min(DIR_FIRST_ADDRS);
+        for (i, sb) in supers[..head].iter().enumerate() {
+            let off = 8 + i * 8;
+            first[off..off + 8].copy_from_slice(&sb.to_le_bytes());
+        }
+        blocks.push((dir, first));
+        let mut rest = &supers[head..];
+        while !rest.is_empty() {
+            let next = heap.alloc_blocks(mem, 1)?;
+            let prev = blocks.len() - 1;
+            blocks[prev].1[DIR_NEXT_OFF..DIR_NEXT_OFF + 8].copy_from_slice(&next.0.to_le_bytes());
+            let take = rest.len().min(DIR_CHAIN_ADDRS);
+            let mut blk = [0u8; BLOCK_BYTES];
+            for (i, sb) in rest[..take].iter().enumerate() {
+                blk[i * 8..i * 8 + 8].copy_from_slice(&sb.to_le_bytes());
+            }
+            blocks.push((next, blk));
+            rest = &rest[take..];
+        }
+        for (addr, blk) in &blocks {
+            mem.write(*addr, blk)?;
+            mem.persist(*addr)?;
+        }
         heap.set_root(mem, dir.0)?;
         Ok(KvFleet { heap, shards })
+    }
+
+    /// Walks the directory chain at `root` and returns the `count`
+    /// validated superblock addresses: every entry nonzero and
+    /// distinct, the chain long enough for the count. Anything else is
+    /// [`KvError::NotAStore`] — a corrupt directory must fail loudly,
+    /// not open one shard twice.
+    fn read_directory(mem: &mut SecureMemory, root: u64) -> Result<Vec<u64>, KvError> {
+        let first = mem.read(PhysAddr(root))?;
+        let mut count_bytes = [0u8; 8];
+        count_bytes.copy_from_slice(&first[..8]);
+        let count = u64::from_le_bytes(count_bytes);
+        if count == 0 || count > MAX_SHARDS {
+            return Err(KvError::NotAStore);
+        }
+        let mut supers = Vec::with_capacity(count as usize);
+        let mut block = first;
+        let mut off = 8;
+        while supers.len() < count as usize {
+            if off + 8 <= DIR_NEXT_OFF {
+                let mut sb = [0u8; 8];
+                sb.copy_from_slice(&block[off..off + 8]);
+                supers.push(u64::from_le_bytes(sb));
+                off += 8;
+                continue;
+            }
+            let mut next = [0u8; 8];
+            next.copy_from_slice(&block[DIR_NEXT_OFF..DIR_NEXT_OFF + 8]);
+            let next = u64::from_le_bytes(next);
+            if next == 0 {
+                // The count promises more shards than the chain holds.
+                return Err(KvError::NotAStore);
+            }
+            block = mem.read(PhysAddr(next))?;
+            off = 0;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &sb in &supers {
+            if sb == 0 || !seen.insert(sb) {
+                return Err(KvError::NotAStore);
+            }
+        }
+        Ok(supers)
     }
 
     /// Opens an existing fleet, replaying every shard's log; returns
@@ -294,27 +395,20 @@ impl KvFleet {
     ///
     /// # Errors
     ///
-    /// [`KvError::NotAStore`] when the heap root or directory is unset.
+    /// [`KvError::NotAStore`] when the heap root is unset or the
+    /// directory is corrupt (bad count, zero or duplicated superblock
+    /// entries, truncated chain).
     pub fn open(mem: &mut SecureMemory) -> Result<(KvFleet, triad_core::LogReplayStats), KvError> {
         let heap = PersistentHeap::open(mem)?;
         let root = heap.root(mem)?;
         if root == 0 {
             return Err(KvError::NotAStore);
         }
-        let dir_block = mem.read(PhysAddr(root))?;
-        let mut count_bytes = [0u8; 8];
-        count_bytes.copy_from_slice(&dir_block[..8]);
-        let count = u64::from_le_bytes(count_bytes);
-        if count == 0 || count > 7 {
-            return Err(KvError::NotAStore);
-        }
-        let mut shards = Vec::with_capacity(count as usize);
+        let supers = Self::read_directory(mem, root)?;
+        let mut shards = Vec::with_capacity(supers.len());
         let mut merged = triad_core::LogReplayStats::default();
-        for i in 0..count {
-            let off = 8 + i as usize * 8;
-            let mut sb = [0u8; 8];
-            sb.copy_from_slice(&dir_block[off..off + 8]);
-            let (store, replay) = KvStore::open(mem, heap, PhysAddr(u64::from_le_bytes(sb)))?;
+        for sb in supers {
+            let (store, replay) = KvStore::open(mem, heap, PhysAddr(sb))?;
             merged.merge(&replay);
             shards.push(store);
         }
@@ -357,7 +451,7 @@ impl KvFleet {
     /// Propagates store errors (including the injected-crash
     /// `NeedsRecovery`).
     pub fn apply(&mut self, mem: &mut SecureMemory, op: &KvOp) -> Result<OpOutcome, KvError> {
-        let shard = |fleet: &mut KvFleet, s: u64| -> usize { s as usize % fleet.shards.len() };
+        let shard = |fleet: &mut KvFleet, s: u64| -> usize { route_shard(s, fleet.shards.len()) };
         match *op {
             KvOp::Put {
                 shard: s,
@@ -600,6 +694,121 @@ mod tests {
         assert!(report.persistent_recovered);
         assert!(report.log_replay.is_some());
         assert_eq!(fleet.dump(&mut mem).unwrap(), oracle);
+    }
+
+    #[test]
+    fn routing_reduces_in_u64_before_narrowing() {
+        // Ids above 2^32 with a non-power-of-two fleet: the buggy
+        // narrow-then-modulo form truncates to `(s mod 2^32) mod len`
+        // on 32-bit targets, which disagrees whenever 2^32 % len != 0.
+        let big = (1u64 << 32) + 3;
+        assert_eq!(route_shard(big, 3), (big % 3) as usize);
+        assert_eq!(route_shard(big, 3), 1);
+        assert_eq!(route_shard(u64::MAX, 7), (u64::MAX % 7) as usize);
+        assert_eq!(route_shard(5, 1), 0);
+
+        // End to end: a history op carrying a >2^32 shard id lands on
+        // the reduced index and is readable back from that shard.
+        let spec = KvSpec {
+            shards: 3,
+            ..KvSpec::small(0)
+        };
+        let mut mem =
+            build_mem(PersistScheme::triad_nvm(2), CounterPersistence::Strict, 5).unwrap();
+        let mut fleet = KvFleet::create(&mut mem, &spec).unwrap();
+        fleet
+            .apply(
+                &mut mem,
+                &KvOp::Put {
+                    shard: big,
+                    key: 9,
+                    len: 4,
+                    tag: 77,
+                },
+            )
+            .unwrap();
+        let state = fleet.dump(&mut mem).unwrap();
+        assert_eq!(state.get(&(1, 9)), Some(&value_bytes(77, 4)));
+    }
+
+    #[test]
+    fn create_rejects_oversized_fleets_instead_of_clamping() {
+        let spec = KvSpec {
+            shards: MAX_SHARDS + 1,
+            ..KvSpec::small(0)
+        };
+        let mut mem =
+            build_mem(PersistScheme::triad_nvm(2), CounterPersistence::Strict, 5).unwrap();
+        assert_eq!(
+            KvFleet::create(&mut mem, &spec).unwrap_err(),
+            KvError::TooManyShards {
+                requested: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            }
+        );
+    }
+
+    #[test]
+    fn multi_block_directory_chain_survives_recovery() {
+        // 16 shards no longer fit one directory block (6 + 7 + 3): the
+        // chain must round-trip through crash recovery intact.
+        let spec = KvSpec {
+            shards: 16,
+            buckets: 8,
+            log_blocks: 16,
+            ..KvSpec::small(0)
+        };
+        let mut mem =
+            build_mem(PersistScheme::triad_nvm(2), CounterPersistence::Strict, 9).unwrap();
+        let mut fleet = KvFleet::create(&mut mem, &spec).unwrap();
+        assert_eq!(fleet.shard_count(), 16);
+        let mut oracle = Model::new();
+        for s in 0..16u64 {
+            let op = KvOp::Put {
+                shard: s,
+                key: s,
+                len: 8,
+                tag: s + 1,
+            };
+            fleet.apply(&mut mem, &op).unwrap();
+            oracle_apply(&mut oracle, &op);
+        }
+        mem.crash();
+        let (mut fleet, report) = KvFleet::recover(&mut mem).unwrap();
+        assert!(report.persistent_recovered);
+        assert_eq!(fleet.shard_count(), 16);
+        assert_eq!(fleet.dump(&mut mem).unwrap(), oracle);
+    }
+
+    #[test]
+    fn open_rejects_corrupted_directories() {
+        let corrupt = |patch: fn(&mut [u8; BLOCK_BYTES], u64)| {
+            let spec = KvSpec::small(0);
+            let mut mem =
+                build_mem(PersistScheme::triad_nvm(2), CounterPersistence::Strict, 13).unwrap();
+            let fleet = KvFleet::create(&mut mem, &spec).unwrap();
+            let heap = fleet.heap();
+            let root = heap.root(&mut mem).unwrap();
+            let mut dir = mem.read(PhysAddr(root)).unwrap();
+            let valid_entry = u64::from_le_bytes(dir[8..16].try_into().unwrap());
+            patch(&mut dir, valid_entry);
+            mem.write(PhysAddr(root), &dir).unwrap();
+            mem.persist(PhysAddr(root)).unwrap();
+            KvFleet::open(&mut mem).unwrap_err()
+        };
+        // A zeroed superblock entry.
+        let err = corrupt(|dir, _| dir[16..24].copy_from_slice(&0u64.to_le_bytes()));
+        assert_eq!(err, KvError::NotAStore);
+        // The same shard listed twice: without validation this opens
+        // one store as two aliased shards.
+        let err = corrupt(|dir, first| dir[16..24].copy_from_slice(&first.to_le_bytes()));
+        assert_eq!(err, KvError::NotAStore);
+        // An absurd count word.
+        let err = corrupt(|dir, _| dir[..8].copy_from_slice(&(MAX_SHARDS + 1).to_le_bytes()));
+        assert_eq!(err, KvError::NotAStore);
+        // A count promising more shards than the (unchained) block has.
+        let err = corrupt(|dir, _| dir[..8].copy_from_slice(&7u64.to_le_bytes()));
+        assert_eq!(err, KvError::NotAStore);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   store: seeded history generation (Zipf or uniform keys), an
 //!   in-DRAM oracle, and the crash-equivalence check that replays a
 //!   history through crash injection at every persist boundary.
+//! * [`service`] — the sharded serving front-end over `triad-kv`:
+//!   keyed-hash routing across independent shard engines on worker
+//!   threads, group commit (one commit marker per flushed batch), and
+//!   WPQ-pressure admission control, with deterministic merges.
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub use triad_kv::heap;
 
 pub mod kv;
 pub mod mixes;
+pub mod service;
 pub mod spec;
 pub mod structures;
 pub mod traces;
@@ -38,6 +43,10 @@ pub mod zipf;
 pub use heap::{HeapError, PersistentHeap};
 pub use kv::{crash_equivalence_check, generate_history, KvFleet, KvMix, KvOp, KvSpec};
 pub use mixes::{all_figure_workloads, build_workload, WorkloadEnv};
+pub use service::{
+    generate_requests, service_crash_equivalence_check, AdmissionPolicy, KvService, Request,
+    Response, ServiceSpec,
+};
 pub use spec::SpecWorkload;
 pub use traces::{DaxBench, PmdkKind, PmdkTrace};
 pub use zipf::Zipf;

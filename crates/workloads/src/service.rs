@@ -1,0 +1,1057 @@
+//! The sharded KV serving front-end: [`KvService`] — the ROADMAP's
+//! "fleet scale" layer over `triad-kv`.
+//!
+//! Where [`crate::kv::KvFleet`] is a deterministic test driver (many
+//! shards multiplexed onto one secure memory, one op at a time), the
+//! service is the serving-shaped composition the paper's throughput
+//! argument needs:
+//!
+//! * **Routing** — every key is hashed (keyed SipHash-2-4) onto one of
+//!   N *independent* shards, each owning its own [`SecureMemory`],
+//!   persistent heap, WAL and [`KvStore`]. Nothing is shared between
+//!   shards, so a submit batch runs the shards genuinely in parallel
+//!   on worker threads ([`std::thread::scope`]).
+//! * **Group commit** — each shard accumulates routed mutations and
+//!   flushes them through [`KvStore::apply_group`]: one redo
+//!   transaction, one commit-marker persist, amortized across the
+//!   whole group. The `group_window` knob bounds group size; window 1
+//!   degenerates to the unbatched one-marker-per-mutation path.
+//! * **Admission control** — each flush observes the shard's
+//!   `wpq_full_events` delta. Under [`AdmissionPolicy::Shed`] a
+//!   saturated flush starts a cooldown during which incoming
+//!   mutations are rejected ([`Response::Shed`]); under
+//!   [`AdmissionPolicy::Delay`] the shard instead grows its group
+//!   window (fewer, larger flushes) until the pressure clears.
+//! * **Determinism** — the response vector, merged stats and merged
+//!   state of a submit are identical whether the lanes run threaded
+//!   or serial: requests are partitioned per shard in submit order,
+//!   each lane is a pure function of its own slice, and every merge
+//!   walks lanes in shard-index order over ordered containers (the
+//!   `shard-safety/nondeterministic-merge` contract).
+//!
+//! Durability contract: when [`KvService::submit`] returns `Ok`, every
+//! admitted mutation of the batch is durable (each lane drains its
+//! pending group before returning). A crash mid-submit loses at most
+//! the interrupted group on the crashed shard — recovery lands on a
+//! group boundary, which the fleet crash sweep in
+//! `tests/property_crash.rs` checks at every persist boundary.
+
+use std::collections::BTreeMap;
+
+use triad_core::{
+    CounterPersistence, PersistScheme, RecoveryReport, SecureMemory, SecureMemoryBuilder,
+    SecureMemoryError,
+};
+use triad_crypto::SipHash24;
+use triad_kv::heap::PersistentHeap;
+use triad_kv::{KvConfig, KvError, KvStats, KvStore};
+use triad_sim::config::SystemConfig;
+use triad_sim::rng::SplitMix64;
+use triad_sim::Time;
+
+use crate::kv::{value_bytes, MAX_SHARDS};
+
+/// Per-shard reaction to WPQ saturation observed at flush time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything; no backpressure.
+    Open,
+    /// After a flush that saturated the WPQ, reject the next
+    /// `cooldown` mutations routed to this shard.
+    Shed {
+        /// Mutations rejected per saturation episode.
+        cooldown: u64,
+    },
+    /// After a saturated flush, double the shard's group window (up to
+    /// `max_window`) so persists amortize harder; halve it back toward
+    /// the configured window once flushes run clean.
+    Delay {
+        /// The largest window the shard may grow to.
+        max_window: usize,
+    },
+}
+
+/// Everything that determines a service fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSpec {
+    /// Independent shards (1..=[`MAX_SHARDS`]).
+    pub shards: u64,
+    /// Mutations a shard accumulates before flushing a group
+    /// (min 1; 1 = unbatched, one commit marker per mutation).
+    pub group_window: usize,
+    /// Backpressure policy.
+    pub admission: AdmissionPolicy,
+    /// Persistence scheme of every shard engine.
+    pub scheme: PersistScheme,
+    /// Counter-persistence policy of every shard engine.
+    pub counters: CounterPersistence,
+    /// Buckets per shard store.
+    pub buckets: u64,
+    /// WAL blocks per shard store.
+    pub log_blocks: u64,
+    /// Base key seed; shard i derives its own stream from it.
+    pub key_seed: u64,
+    /// Engine geometry override (`None` = builder default).
+    pub config: Option<SystemConfig>,
+}
+
+impl ServiceSpec {
+    /// A serving-shaped default: TriadNVM-2, strict counters, window 8.
+    pub fn new(shards: u64) -> Self {
+        ServiceSpec {
+            shards,
+            group_window: 8,
+            admission: AdmissionPolicy::Open,
+            scheme: PersistScheme::triad_nvm(2),
+            counters: CounterPersistence::Strict,
+            buckets: 64,
+            log_blocks: 64,
+            key_seed: 1,
+            config: None,
+        }
+    }
+}
+
+/// One client request against the service's single keyspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Insert or replace `key`.
+    Put {
+        /// The key.
+        key: u64,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Point lookup.
+    Get {
+        /// The key.
+        key: u64,
+    },
+    /// Point delete.
+    Delete {
+        /// The key.
+        key: u64,
+    },
+    /// Full sorted scan across every shard (forces a fleet-wide
+    /// flush so the scan sees every earlier mutation of the batch).
+    Scan,
+}
+
+/// What one request returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A put or delete was admitted (durable once submit returns).
+    Done,
+    /// Admission control rejected the mutation under WPQ pressure.
+    Shed,
+    /// A get's value (or absence).
+    Value(Option<Vec<u8>>),
+    /// A scan's merged, key-sorted pairs.
+    Scanned(Vec<(u64, Vec<u8>)>),
+}
+
+/// Group-commit and admission counters of one shard (or, merged, of
+/// the whole service).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Groups flushed.
+    pub flushes: u64,
+    /// Mutations those groups carried.
+    pub ops: u64,
+    /// Redo records appended (coalesced per distinct block).
+    pub log_records: u64,
+    /// Commit markers persisted — the amortization numerator.
+    pub commit_markers: u64,
+    /// Mutations rejected by admission control.
+    pub shed: u64,
+}
+
+impl GroupStats {
+    /// Merges another shard's counters (field-wise sum; deterministic
+    /// regardless of shard visit order).
+    pub fn merge(&mut self, other: &GroupStats) {
+        self.flushes += other.flushes;
+        self.ops += other.ops;
+        self.log_records += other.log_records;
+        self.commit_markers += other.commit_markers;
+        self.shed += other.shed;
+    }
+}
+
+/// A request routed onto one lane, tagged with its submit index so
+/// responses merge back deterministically.
+#[derive(Debug, Clone)]
+enum LaneOp {
+    /// A put (`Some`) or delete (`None`).
+    Mutate {
+        idx: usize,
+        key: u64,
+        value: Option<Vec<u8>>,
+    },
+    Get {
+        idx: usize,
+        key: u64,
+    },
+    /// This lane's slice of a fleet-wide scan.
+    Scan {
+        idx: usize,
+    },
+}
+
+/// What one lane op produced.
+#[derive(Debug, Clone)]
+enum LaneOutcome {
+    Done,
+    Shed,
+    Got(Option<Vec<u8>>),
+    /// This lane's sorted pairs; the service merges across lanes.
+    Scanned(Vec<(u64, Vec<u8>)>),
+}
+
+/// One shard: a whole private engine + store, plus the group-commit
+/// staging state. `Send`, so submit can move it onto a worker thread.
+#[derive(Debug)]
+struct ShardLane {
+    mem: SecureMemory,
+    store: KvStore,
+    /// Mutations staged since the last flush, in admit order.
+    pending: Vec<(u64, Option<Vec<u8>>)>,
+    /// Current flush threshold (Delay adapts it).
+    window: usize,
+    /// The configured threshold Delay decays back to.
+    base_window: usize,
+    /// Mutations still to reject in the current Shed cooldown.
+    shed_remaining: u64,
+    policy: AdmissionPolicy,
+    groups: GroupStats,
+}
+
+impl ShardLane {
+    /// Flushes the pending group through [`KvStore::apply_group`] and
+    /// feeds the observed WPQ pressure back into admission. A group
+    /// whose coalesced write set overflows the WAL is split in half
+    /// and flushed as two groups (recursively), so an oversized window
+    /// costs extra markers instead of failing the batch.
+    fn flush(&mut self) -> Result<(), KvError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let muts = std::mem::take(&mut self.pending);
+        self.flush_muts(muts)
+    }
+
+    fn flush_muts(&mut self, mut muts: Vec<(u64, Option<Vec<u8>>)>) -> Result<(), KvError> {
+        let before = self.mem.mem_stats().wpq_full_events;
+        match self.store.apply_group(&mut self.mem, &muts) {
+            Ok(receipt) => {
+                self.groups.flushes += 1;
+                self.groups.ops += receipt.ops;
+                self.groups.log_records += receipt.log_records;
+                self.groups.commit_markers += receipt.commit_markers;
+                let delta = self.mem.mem_stats().wpq_full_events - before;
+                self.note_flush_pressure(delta);
+                Ok(())
+            }
+            Err(KvError::LogFull) if muts.len() > 1 => {
+                let tail = muts.split_off(muts.len() / 2);
+                self.flush_muts(muts)?;
+                self.flush_muts(tail)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Admission-control reaction to one flush's `wpq_full_events`
+    /// delta. Pure state transition — unit-testable without having to
+    /// provoke real WPQ saturation.
+    fn note_flush_pressure(&mut self, wpq_full_delta: u64) {
+        match self.policy {
+            AdmissionPolicy::Open => {}
+            AdmissionPolicy::Shed { cooldown } => {
+                if wpq_full_delta > 0 {
+                    self.shed_remaining = cooldown;
+                }
+            }
+            AdmissionPolicy::Delay { max_window } => {
+                if wpq_full_delta > 0 {
+                    self.window = (self.window.saturating_mul(2)).min(max_window.max(1));
+                } else if self.window > self.base_window {
+                    self.window = (self.window / 2).max(self.base_window);
+                }
+            }
+        }
+    }
+
+    /// The value `key` would read right now: the youngest pending
+    /// mutation wins over the durable store.
+    fn pending_lookup(&self, key: u64) -> Option<Option<Vec<u8>>> {
+        self.pending
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Runs this lane's slice of a submit batch, in order, flushing on
+    /// window boundaries, scans, and at the end (the submit durability
+    /// contract).
+    fn run(&mut self, ops: &[LaneOp]) -> Result<Vec<(usize, LaneOutcome)>, KvError> {
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                LaneOp::Mutate { idx, key, value } => {
+                    if self.shed_remaining > 0 {
+                        self.shed_remaining -= 1;
+                        self.groups.shed += 1;
+                        out.push((*idx, LaneOutcome::Shed));
+                        continue;
+                    }
+                    self.pending.push((*key, value.clone()));
+                    out.push((*idx, LaneOutcome::Done));
+                    if self.pending.len() >= self.window {
+                        self.flush()?;
+                    }
+                }
+                LaneOp::Get { idx, key } => {
+                    let value = match self.pending_lookup(*key) {
+                        Some(staged) => staged,
+                        None => self.store.get(&mut self.mem, *key)?,
+                    };
+                    out.push((*idx, LaneOutcome::Got(value)));
+                }
+                LaneOp::Scan { idx } => {
+                    self.flush()?;
+                    out.push((*idx, LaneOutcome::Scanned(self.store.scan(&mut self.mem)?)));
+                }
+            }
+        }
+        self.flush()?;
+        Ok(out)
+    }
+}
+
+/// The sharded serving front-end. See the module docs for the
+/// routing / group-commit / admission / determinism contract.
+#[derive(Debug)]
+pub struct KvService {
+    lanes: Vec<ShardLane>,
+    threaded: bool,
+}
+
+impl KvService {
+    /// Builds a fleet of `spec.shards` independent shard engines.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::TooManyShards`] above [`MAX_SHARDS`]; engine build
+    /// or heap errors otherwise.
+    pub fn create(spec: &ServiceSpec) -> Result<KvService, KvError> {
+        let shards = spec.shards.max(1);
+        if shards > MAX_SHARDS {
+            return Err(KvError::TooManyShards {
+                requested: shards,
+                max: MAX_SHARDS,
+            });
+        }
+        let mut lanes = Vec::with_capacity(shards as usize);
+        for i in 0..shards {
+            lanes.push(Self::create_lane(spec, i)?);
+        }
+        Ok(KvService {
+            lanes,
+            threaded: true,
+        })
+    }
+
+    fn create_lane(spec: &ServiceSpec, i: u64) -> Result<ShardLane, KvError> {
+        let mut builder = SecureMemoryBuilder::new()
+            .scheme(spec.scheme)
+            .counter_persistence(spec.counters)
+            // Distinct per-shard key streams, derived SplitMix64-style
+            // from the base seed.
+            .key_seed(spec.key_seed ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if let Some(cfg) = spec.config {
+            builder = builder.config(cfg);
+        }
+        let mut mem = builder.build().map_err(KvError::Memory)?;
+        let heap = PersistentHeap::format(&mut mem)?;
+        let store = KvStore::create(
+            &mut mem,
+            heap,
+            KvConfig {
+                buckets: spec.buckets,
+                log_blocks: spec.log_blocks,
+            },
+        )?;
+        // Heap root = superblock: the single-store layout
+        // `triad_kv::recover_store` recovers in one call.
+        heap.set_root(&mut mem, store.superblock().0)?;
+        let window = spec.group_window.max(1);
+        Ok(ShardLane {
+            mem,
+            store,
+            pending: Vec::new(),
+            window,
+            base_window: window,
+            shed_remaining: 0,
+            policy: spec.admission,
+            groups: GroupStats::default(),
+        })
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Chooses threaded (default) or single-threaded lane execution.
+    /// Both produce identical responses, stats and state — the
+    /// determinism test pins that.
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.threaded = threaded;
+    }
+
+    /// The shard index serving `key` (keyed-hash routing, reduced in
+    /// u64 — see `route_shard` in [`crate::kv`]).
+    pub fn route(&self, key: u64) -> usize {
+        let h = SipHash24::new(*b"triad-kv routing").hash_words(&[key]);
+        (h % self.lanes.len().max(1) as u64) as usize
+    }
+
+    /// Serves one batch: partitions the requests across shards in
+    /// submit order, runs every lane (threaded or serial), and merges
+    /// the responses back into submit order. On `Ok`, every admitted
+    /// mutation is durable.
+    ///
+    /// # Errors
+    ///
+    /// The first failing lane's error, in shard order (an injected
+    /// crash surfaces as `KvError::Memory(NeedsRecovery)`; see
+    /// [`KvService::recover_shard`]).
+    pub fn submit(&mut self, reqs: &[Request]) -> Result<Vec<Response>, KvError> {
+        let n = self.lanes.len();
+        let mut per_lane: Vec<Vec<LaneOp>> = (0..n).map(|_| Vec::new()).collect();
+        for (idx, req) in reqs.iter().enumerate() {
+            match req {
+                Request::Put { key, value } => per_lane[self.route(*key)].push(LaneOp::Mutate {
+                    idx,
+                    key: *key,
+                    value: Some(value.clone()),
+                }),
+                Request::Delete { key } => per_lane[self.route(*key)].push(LaneOp::Mutate {
+                    idx,
+                    key: *key,
+                    value: None,
+                }),
+                Request::Get { key } => {
+                    per_lane[self.route(*key)].push(LaneOp::Get { idx, key: *key });
+                }
+                Request::Scan => {
+                    for ops in per_lane.iter_mut() {
+                        ops.push(LaneOp::Scan { idx });
+                    }
+                }
+            }
+        }
+
+        let results: Vec<Result<Vec<(usize, LaneOutcome)>, KvError>> = if self.threaded {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .lanes
+                    .iter_mut()
+                    .zip(per_lane.iter())
+                    .map(|(lane, ops)| s.spawn(move || lane.run(ops)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    })
+                    .collect()
+            })
+        } else {
+            self.lanes
+                .iter_mut()
+                .zip(per_lane.iter())
+                .map(|(lane, ops)| lane.run(ops))
+                .collect()
+        };
+
+        // Deterministic merge: lanes visited in shard order, scan
+        // fragments merged through an ordered map.
+        let mut responses: Vec<Option<Response>> = vec![None; reqs.len()];
+        let mut scans: BTreeMap<usize, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
+        for lane_result in results {
+            for (idx, outcome) in lane_result? {
+                match outcome {
+                    LaneOutcome::Done => responses[idx] = Some(Response::Done),
+                    LaneOutcome::Shed => responses[idx] = Some(Response::Shed),
+                    LaneOutcome::Got(v) => responses[idx] = Some(Response::Value(v)),
+                    LaneOutcome::Scanned(pairs) => {
+                        scans.entry(idx).or_default().extend(pairs);
+                    }
+                }
+            }
+        }
+        for (idx, merged) in scans {
+            responses[idx] = Some(Response::Scanned(merged.into_iter().collect()));
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every submitted request produces exactly one response"))
+            .collect())
+    }
+
+    /// The service's durable state, merged across shards by key.
+    /// Reads only what is on NVM — staged-but-unflushed mutations
+    /// (none, after a successful submit) are not included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/memory errors.
+    pub fn dump(&mut self) -> Result<BTreeMap<u64, Vec<u8>>, KvError> {
+        let mut out = BTreeMap::new();
+        for lane in self.lanes.iter_mut() {
+            for (key, value) in lane.store.scan(&mut lane.mem)? {
+                out.insert(key, value);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merged store counters, shard-order field-wise sum.
+    pub fn merged_kv_stats(&self) -> KvStats {
+        let mut out = KvStats::default();
+        for lane in &self.lanes {
+            out.merge(lane.store.stats());
+        }
+        out
+    }
+
+    /// Merged group-commit/admission counters.
+    pub fn merged_group_stats(&self) -> GroupStats {
+        let mut out = GroupStats::default();
+        for lane in &self.lanes {
+            out.merge(&lane.groups);
+        }
+        out
+    }
+
+    /// The fleet's simulated makespan: the slowest shard's clock.
+    /// Shards run in parallel, so this is the serving-time analogue
+    /// (total work / this = aggregate throughput).
+    pub fn max_shard_time(&self) -> Time {
+        self.lanes
+            .iter()
+            .map(|l| l.mem.now())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Summed durability points across shards.
+    pub fn total_persists(&self) -> u64 {
+        self.lanes.iter().map(|l| l.mem.stats().persists).sum()
+    }
+
+    /// Summed metadata persist writes across shards (the bench-delta
+    /// crypto-overhead metric).
+    pub fn total_persist_metadata_writes(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.mem.stats().persist_metadata_writes())
+            .sum()
+    }
+
+    /// One shard's engine (crash arming, stats).
+    pub fn shard_mem(&self, i: usize) -> Option<&SecureMemory> {
+        self.lanes.get(i).map(|l| &l.mem)
+    }
+
+    /// One shard's engine, mutably (crash injection).
+    pub fn shard_mem_mut(&mut self, i: usize) -> Option<&mut SecureMemory> {
+        self.lanes.get_mut(i).map(|l| &mut l.mem)
+    }
+
+    /// One shard's store (stats, event wiring).
+    pub fn shard_store_mut(&mut self, i: usize) -> Option<&mut KvStore> {
+        self.lanes.get_mut(i).map(|l| &mut l.store)
+    }
+
+    /// Recovers shard `i` after a crash: engine recovery + WAL replay
+    /// via [`triad_kv::recover_store`]. Pending (unflushed) mutations
+    /// of the crashed shard are discarded — they were never durable.
+    /// The shard's store counters restart from zero, as after any
+    /// reopen.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::NotAStore`] for an out-of-range index; recovery
+    /// errors otherwise.
+    pub fn recover_shard(&mut self, i: usize) -> Result<RecoveryReport, KvError> {
+        let lane = self.lanes.get_mut(i).ok_or(KvError::NotAStore)?;
+        lane.pending.clear();
+        lane.shed_remaining = 0;
+        lane.window = lane.base_window;
+        let (store, report) = triad_kv::recover_store(&mut lane.mem)?;
+        lane.store = store;
+        Ok(report)
+    }
+}
+
+/// Generates a seeded put/get/delete request schedule over a global
+/// keyspace (5:3:2 mix, [`value_bytes`]-derived payloads). Scans are
+/// fleet-wide barriers and are driven explicitly where needed.
+pub fn generate_requests(
+    seed: u64,
+    ops: usize,
+    keyspace: u64,
+    value_len: (usize, usize),
+) -> Vec<Request> {
+    let mut rng = SplitMix64::stream(seed, 0x73_7276_6372_6571);
+    (0..ops)
+        .map(|_| {
+            let key = rng.below(keyspace.max(1));
+            match rng.below(10) {
+                0..=4 => {
+                    let len =
+                        rng.gen_range_inclusive(value_len.0 as u64..=value_len.1 as u64) as usize;
+                    Request::Put {
+                        key,
+                        value: value_bytes(rng.next_u64(), len),
+                    }
+                }
+                5..=7 => Request::Get { key },
+                _ => Request::Delete { key },
+            }
+        })
+        .collect()
+}
+
+/// The serving-layer crash-equivalence property: a seeded schedule,
+/// submitted batch by batch (one group-commit flush per shard per
+/// batch), replayed once per persist boundary of the victim shard with
+/// a crash armed at that boundary. After every crash the victim must
+/// recover to **exactly** the pre- or post-group durable snapshot of
+/// the interrupted batch — a serial prefix at group granularity,
+/// nothing else — and re-driving the schedule must converge on the
+/// clean run's final state. Returns the number of boundaries swept.
+///
+/// `base` supplies the fleet geometry and scheme; the check forces
+/// serial lane execution, `Open` admission and a whole-batch group
+/// window so group boundaries are exactly batch boundaries.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence, formatted
+/// with the boundary and batch index for reproduction.
+pub fn service_crash_equivalence_check(
+    base: &ServiceSpec,
+    batches: usize,
+    batch_len: usize,
+    seed: u64,
+) -> Result<u64, String> {
+    let spec = ServiceSpec {
+        group_window: batch_len.max(1),
+        admission: AdmissionPolicy::Open,
+        // Roomy WAL: the sweep's batch = one group, never log-split.
+        log_blocks: base.log_blocks.max(256),
+        ..*base
+    };
+    let schedule: Vec<Vec<Request>> = (0..batches)
+        .map(|b| generate_requests(seed ^ (b as u64 + 1), batch_len, 16, (1, 48)))
+        .collect();
+    let victim = 0usize;
+
+    // Clean run: verify every response against the model and snapshot
+    // the victim shard's durable state at every group boundary.
+    let mut svc = KvService::create(&spec).map_err(|e| format!("create: {e}"))?;
+    svc.set_threaded(false);
+    let persist_base = svc
+        .shard_mem(victim)
+        .map(|m| m.stats().persists)
+        .unwrap_or(0);
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let victim_view = |svc: &KvService, m: &BTreeMap<u64, Vec<u8>>| -> BTreeMap<u64, Vec<u8>> {
+        m.iter()
+            .filter(|(k, _)| svc.route(**k) == victim)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    };
+    let mut snaps: Vec<BTreeMap<u64, Vec<u8>>> = vec![BTreeMap::new()];
+    for (b, batch) in schedule.iter().enumerate() {
+        let resps = svc
+            .submit(batch)
+            .map_err(|e| format!("clean run, batch {b}: {e}"))?;
+        for (req, resp) in batch.iter().zip(&resps) {
+            match (req, resp) {
+                (Request::Put { key, value }, Response::Done) => {
+                    model.insert(*key, value.clone());
+                }
+                (Request::Delete { key }, Response::Done) => {
+                    model.remove(key);
+                }
+                (Request::Get { key }, Response::Value(v)) => {
+                    if v.as_ref() != model.get(key) {
+                        return Err(format!(
+                            "clean run, batch {b}: get({key}) disagrees with the model"
+                        ));
+                    }
+                }
+                (rq, rs) => {
+                    return Err(format!(
+                        "clean run, batch {b}: unexpected response {rs:?} for {rq:?}"
+                    ))
+                }
+            }
+        }
+        snaps.push(victim_view(&svc, &model));
+    }
+    let final_state = svc.dump().map_err(|e| format!("clean run: dump: {e}"))?;
+    if final_state != model {
+        return Err("clean run: durable state diverges from the model".into());
+    }
+    let boundaries = svc
+        .shard_mem(victim)
+        .map(|m| m.stats().persists)
+        .unwrap_or(0)
+        - persist_base;
+
+    for k in 0..boundaries {
+        let mut svc = KvService::create(&spec).map_err(|e| format!("boundary {k}: create: {e}"))?;
+        svc.set_threaded(false);
+        if let Some(m) = svc.shard_mem_mut(victim) {
+            m.inject_crash_after_persists(k);
+        }
+        let mut crashed_at: Option<usize> = None;
+        let mut b = 0;
+        while b < schedule.len() {
+            match svc.submit(&schedule[b]) {
+                Ok(_) => b += 1,
+                Err(KvError::Memory(SecureMemoryError::NeedsRecovery)) if crashed_at.is_none() => {
+                    crashed_at = Some(b);
+                    let report = svc
+                        .recover_shard(victim)
+                        .map_err(|e| format!("boundary {k}, batch {b}: recovery failed: {e}"))?;
+                    if !report.persistent_recovered {
+                        return Err(format!(
+                            "boundary {k}, batch {b}: persistent region did not recover"
+                        ));
+                    }
+                    let state = svc
+                        .dump()
+                        .map_err(|e| format!("boundary {k}, batch {b}: dump: {e}"))?;
+                    let recovered = victim_view(&svc, &state);
+                    // The interrupted group either committed or it
+                    // didn't; any third state breaks crash atomicity.
+                    if recovered != snaps[b] && recovered != snaps[b + 1] {
+                        return Err(format!(
+                            "boundary {k}, batch {b}: recovered victim state matches \
+                             neither the pre-group nor the post-group snapshot"
+                        ));
+                    }
+                    // Re-drive the interrupted batch (idempotent at
+                    // the model level) and the rest of the schedule.
+                }
+                Err(e) => return Err(format!("boundary {k}, batch {b}: {e}")),
+            }
+        }
+        if crashed_at.is_none() {
+            return Err(format!("boundary {k}: armed crash never fired"));
+        }
+        let state = svc
+            .dump()
+            .map_err(|e| format!("boundary {k}: final dump: {e}"))?;
+        if state != model {
+            return Err(format!(
+                "boundary {k}: final state diverges from the clean run"
+            ));
+        }
+    }
+    Ok(boundaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(shards: u64) -> ServiceSpec {
+        ServiceSpec {
+            buckets: 16,
+            log_blocks: 64,
+            ..ServiceSpec::new(shards)
+        }
+    }
+
+    /// A seeded request schedule over a global keyspace.
+    fn schedule(seed: u64, n: usize, keyspace: u64) -> Vec<Request> {
+        let mut rng = SplitMix64::stream(seed, 0x73_6572_7669_6365);
+        (0..n)
+            .map(|_| {
+                let key = rng.below(keyspace);
+                match rng.below(10) {
+                    0..=4 => Request::Put {
+                        key,
+                        value: vec![rng.next_u64() as u8; 1 + rng.below(24) as usize],
+                    },
+                    5..=7 => Request::Get { key },
+                    8 => Request::Delete { key },
+                    _ => Request::Scan,
+                }
+            })
+            .collect()
+    }
+
+    /// The in-DRAM oracle of a schedule, tracking shed responses.
+    fn oracle(reqs: &[Request], resps: &[Response]) -> BTreeMap<u64, Vec<u8>> {
+        let mut model = BTreeMap::new();
+        for (req, resp) in reqs.iter().zip(resps) {
+            if *resp == Response::Shed {
+                continue;
+            }
+            match req {
+                Request::Put { key, value } => {
+                    model.insert(*key, value.clone());
+                }
+                Request::Delete { key } => {
+                    model.remove(key);
+                }
+                Request::Get { .. } | Request::Scan => {}
+            }
+        }
+        model
+    }
+
+    #[test]
+    fn serves_reads_and_scans_consistently() {
+        let mut svc = KvService::create(&spec(3)).unwrap();
+        let reqs = schedule(42, 120, 40);
+        let resps = svc.submit(&reqs).unwrap();
+        let model = oracle(&reqs, &resps);
+        // Every response type checks out against a replayed model.
+        let mut replay = BTreeMap::new();
+        for (req, resp) in reqs.iter().zip(&resps) {
+            match (req, resp) {
+                (Request::Put { key, value }, Response::Done) => {
+                    replay.insert(*key, value.clone());
+                }
+                (Request::Delete { key }, Response::Done) => {
+                    replay.remove(key);
+                }
+                (Request::Get { key }, Response::Value(v)) => {
+                    assert_eq!(v.as_ref(), replay.get(key), "get({key})");
+                }
+                (Request::Scan, Response::Scanned(pairs)) => {
+                    let want: Vec<(u64, Vec<u8>)> =
+                        replay.iter().map(|(k, v)| (*k, v.clone())).collect();
+                    assert_eq!(*pairs, want, "scan");
+                }
+                (req, resp) => panic!("mismatched response {resp:?} for {req:?}"),
+            }
+        }
+        assert_eq!(svc.dump().unwrap(), model);
+    }
+
+    #[test]
+    fn threaded_and_serial_execution_are_identical() {
+        let reqs = schedule(7, 200, 64);
+        let mut threaded = KvService::create(&spec(4)).unwrap();
+        threaded.set_threaded(true);
+        let rt = threaded.submit(&reqs).unwrap();
+        let mut serial = KvService::create(&spec(4)).unwrap();
+        serial.set_threaded(false);
+        let rs = serial.submit(&reqs).unwrap();
+        assert_eq!(rt, rs, "responses must not depend on threading");
+        assert_eq!(threaded.merged_kv_stats(), serial.merged_kv_stats());
+        assert_eq!(threaded.merged_group_stats(), serial.merged_group_stats());
+        assert_eq!(threaded.dump().unwrap(), serial.dump().unwrap());
+        assert_eq!(threaded.max_shard_time(), serial.max_shard_time());
+        assert_eq!(threaded.total_persists(), serial.total_persists());
+    }
+
+    #[test]
+    fn group_commit_amortizes_markers() {
+        let puts: Vec<Request> = (0..64u64)
+            .map(|k| Request::Put {
+                key: k,
+                value: vec![k as u8; 8],
+            })
+            .collect();
+        let mut grouped = KvService::create(&spec(2)).unwrap();
+        grouped.submit(&puts).unwrap();
+        let mut unbatched = KvService::create(&ServiceSpec {
+            group_window: 1,
+            ..spec(2)
+        })
+        .unwrap();
+        unbatched.submit(&puts).unwrap();
+
+        let g = grouped.merged_group_stats();
+        let u = unbatched.merged_group_stats();
+        assert_eq!(g.ops, 64);
+        assert_eq!(u.ops, 64);
+        assert_eq!(u.commit_markers, 64, "window 1 = one marker per put");
+        assert!(
+            g.commit_markers * 4 <= u.commit_markers,
+            "window 8 must amortize markers at least 4x: {} vs {}",
+            g.commit_markers,
+            u.commit_markers
+        );
+        assert_eq!(grouped.dump().unwrap(), unbatched.dump().unwrap());
+        assert!(
+            grouped.total_persists() < unbatched.total_persists(),
+            "fewer markers must mean fewer durability points"
+        );
+    }
+
+    #[test]
+    fn shed_policy_rejects_during_cooldown() {
+        let mut svc = KvService::create(&ServiceSpec {
+            shards: 1,
+            admission: AdmissionPolicy::Shed { cooldown: 3 },
+            ..spec(1)
+        })
+        .unwrap();
+        // Simulate a saturated flush directly (the pure transition),
+        // then watch the next three mutations bounce.
+        svc.lanes[0].note_flush_pressure(2);
+        let reqs: Vec<Request> = (0..5u64)
+            .map(|k| Request::Put {
+                key: k,
+                value: vec![1],
+            })
+            .collect();
+        let resps = svc.submit(&reqs).unwrap();
+        assert_eq!(
+            resps,
+            vec![
+                Response::Shed,
+                Response::Shed,
+                Response::Shed,
+                Response::Done,
+                Response::Done
+            ]
+        );
+        assert_eq!(svc.merged_group_stats().shed, 3);
+        // Shed mutations must not reach the store.
+        assert_eq!(svc.dump().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn delay_policy_widens_and_decays_the_window() {
+        let mut svc = KvService::create(&ServiceSpec {
+            shards: 1,
+            group_window: 4,
+            admission: AdmissionPolicy::Delay { max_window: 16 },
+            ..spec(1)
+        })
+        .unwrap();
+        let lane = &mut svc.lanes[0];
+        lane.note_flush_pressure(1);
+        assert_eq!(lane.window, 8);
+        lane.note_flush_pressure(5);
+        assert_eq!(lane.window, 16);
+        lane.note_flush_pressure(9);
+        assert_eq!(lane.window, 16, "capped at max_window");
+        lane.note_flush_pressure(0);
+        assert_eq!(lane.window, 8, "clean flush decays");
+        lane.note_flush_pressure(0);
+        assert_eq!(lane.window, 4);
+        lane.note_flush_pressure(0);
+        assert_eq!(lane.window, 4, "never below the configured window");
+    }
+
+    #[test]
+    fn admission_reacts_to_real_wpq_saturation() {
+        // A deliberately starved WPQ (2 entries) under a write burst:
+        // flushes must observe wpq_full_events and trigger Shed.
+        let mut cfg = SystemConfig::tiny();
+        cfg.mem.wpq_entries = 2;
+        let mut svc = KvService::create(&ServiceSpec {
+            shards: 1,
+            group_window: 16,
+            admission: AdmissionPolicy::Shed { cooldown: 4 },
+            config: Some(cfg),
+            ..spec(1)
+        })
+        .unwrap();
+        let reqs: Vec<Request> = (0..48u64)
+            .map(|k| Request::Put {
+                key: k,
+                value: vec![k as u8; 48],
+            })
+            .collect();
+        let resps = svc.submit(&reqs).unwrap();
+        let stats = svc.merged_group_stats();
+        assert!(
+            svc.shard_mem(0).unwrap().mem_stats().wpq_full_events > 0,
+            "the starved WPQ must have saturated"
+        );
+        assert!(
+            stats.shed > 0,
+            "saturation must have shed mutations: {stats:?}"
+        );
+        assert!(resps.contains(&Response::Shed));
+    }
+
+    #[test]
+    fn crash_on_one_shard_recovers_to_a_group_boundary() {
+        let mut svc = KvService::create(&ServiceSpec {
+            shards: 2,
+            group_window: 4,
+            ..spec(2)
+        })
+        .unwrap();
+        svc.set_threaded(false);
+        // First batch: fully durable.
+        let warm: Vec<Request> = (0..8u64)
+            .map(|k| Request::Put {
+                key: k,
+                value: vec![k as u8; 8],
+            })
+            .collect();
+        svc.submit(&warm).unwrap();
+        let durable = svc.dump().unwrap();
+        // Arm a crash early on shard 0, then push another batch.
+        svc.shard_mem_mut(0).unwrap().inject_crash_after_persists(2);
+        let burst: Vec<Request> = (100..120u64)
+            .map(|k| Request::Put {
+                key: k,
+                value: vec![k as u8; 8],
+            })
+            .collect();
+        let err = svc.submit(&burst).unwrap_err();
+        assert!(matches!(err, KvError::Memory(_)), "crash must surface");
+        let report = svc.recover_shard(0).unwrap();
+        assert!(report.persistent_recovered);
+        let after = svc.dump().unwrap();
+        // Shard 0 lost its in-flight group; every key it still holds
+        // was durable before, and the pre-crash state is a subset.
+        for (k, v) in &durable {
+            assert_eq!(after.get(k), Some(v), "durable key {k} lost");
+        }
+        // The service keeps serving.
+        svc.submit(&warm).unwrap();
+        assert!(svc.dump().unwrap().len() >= durable.len());
+    }
+
+    #[test]
+    fn crash_equivalence_smoke_sweeps_group_boundaries() {
+        // The full seeded sweep lives in tests/property_crash.rs; this
+        // is the in-crate smoke version (one scheme, one tiny
+        // schedule).
+        let boundaries = service_crash_equivalence_check(&spec(2), 2, 4, 99).unwrap();
+        assert!(boundaries > 0, "schedule must cross persist boundaries");
+    }
+
+    #[test]
+    fn create_rejects_oversized_fleets() {
+        assert_eq!(
+            KvService::create(&spec(MAX_SHARDS + 1)).unwrap_err(),
+            KvError::TooManyShards {
+                requested: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            }
+        );
+    }
+}

@@ -13,6 +13,9 @@ use triad_nvm::core::{CounterPersistence, PersistScheme};
 use triad_nvm::sim::prop::{check, check_ops, Config};
 use triad_nvm::sim::rng::SplitMix64;
 use triad_nvm::workloads::kv::{crash_equivalence_check, KvSpec};
+use triad_nvm::workloads::service::{
+    generate_requests, service_crash_equivalence_check, KvService, ServiceSpec,
+};
 
 /// Mirrors the old proptest weights — 4 Write : 3 Persist : 1 each for
 /// Pressure / Crash / ArmCrash / BeginEpoch / EndEpoch.
@@ -76,6 +79,92 @@ fn crash_consistency_holds_for_arbitrary_histories() {
 /// schemes, so `TRIAD_PROP_CASES=1000` exercises ≥ 1000 histories *per
 /// scheme*. The default case count keeps the debug-mode CI run cheap;
 /// the release acceptance sweep is recorded in `docs/kv.md`.
+/// The serving-layer extension of the sweep: the same property at
+/// *group-commit* granularity. A seeded request schedule runs through
+/// the sharded [`KvService`] front-end with a crash injected at every
+/// persist boundary of one shard; recovery must land on exactly the
+/// pre- or post-group durable snapshot (a serial prefix of flushed
+/// groups), and re-driving the schedule must converge on the clean
+/// run's final state.
+#[test]
+fn service_crash_equivalence_holds_at_group_boundaries() {
+    let schemes = [PersistScheme::triad_nvm(2), PersistScheme::Strict];
+    check(
+        "service_crash_equivalence_holds_at_group_boundaries",
+        Config::cases(2),
+        |rng| {
+            let batches = rng.gen_range(2..4) as usize;
+            let batch_len = rng.gen_range(4..8) as usize;
+            let seed = rng.next_u64();
+            for scheme in schemes {
+                let spec = ServiceSpec {
+                    shards: 2,
+                    scheme,
+                    buckets: 16,
+                    ..ServiceSpec::new(2)
+                };
+                service_crash_equivalence_check(&spec, batches, batch_len, seed)?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The serving-layer determinism contract: threaded and
+/// single-threaded execution of the same seeded schedule must be
+/// byte-identical — responses, merged store and group-commit stats,
+/// merged durable state, simulated makespan and total durability
+/// points. This is what makes the threaded fleet a legitimate
+/// subject for crash sweeps and report rows.
+#[test]
+fn service_threaded_and_serial_runs_are_identical() {
+    check(
+        "service_threaded_and_serial_runs_are_identical",
+        Config::cases(3),
+        |rng| {
+            let spec = ServiceSpec {
+                shards: 1 + rng.below(4),
+                group_window: 1 + rng.below(8) as usize,
+                buckets: 16,
+                key_seed: rng.next_u64(),
+                ..ServiceSpec::new(1)
+            };
+            let reqs = generate_requests(rng.next_u64(), 60, 48, (1, 64));
+            let mut threaded = KvService::create(&spec).map_err(|e| format!("create: {e}"))?;
+            threaded.set_threaded(true);
+            let rt = threaded
+                .submit(&reqs)
+                .map_err(|e| format!("threaded submit: {e}"))?;
+            let mut serial = KvService::create(&spec).map_err(|e| format!("create: {e}"))?;
+            serial.set_threaded(false);
+            let rs = serial
+                .submit(&reqs)
+                .map_err(|e| format!("serial submit: {e}"))?;
+            if rt != rs {
+                return Err("responses differ between threaded and serial".into());
+            }
+            if threaded.merged_kv_stats() != serial.merged_kv_stats() {
+                return Err("merged store stats differ".into());
+            }
+            if threaded.merged_group_stats() != serial.merged_group_stats() {
+                return Err("merged group stats differ".into());
+            }
+            if threaded.total_persists() != serial.total_persists() {
+                return Err("total persists differ".into());
+            }
+            if threaded.max_shard_time() != serial.max_shard_time() {
+                return Err("simulated makespan differs".into());
+            }
+            let dt = threaded.dump().map_err(|e| format!("dump: {e}"))?;
+            let ds = serial.dump().map_err(|e| format!("dump: {e}"))?;
+            if dt != ds {
+                return Err("merged durable state differs".into());
+            }
+            Ok(())
+        },
+    );
+}
+
 #[test]
 fn kv_crash_equivalence_holds_for_seeded_histories() {
     let schemes = [
