@@ -62,6 +62,10 @@ pub const DRAINS_WPQ: EffectSet = 1 << 4;
 pub const CRASH_BOUNDARY: EffectSet = 1 << 5;
 /// Applies logged writes to the live index/entry state.
 pub const APPLIES_WRITES: EffectSet = 1 << 6;
+/// Persists a per-thread recovery checkpoint (value + seqno record).
+pub const PERSISTS_CHECKPOINT: EffectSet = 1 << 7;
+/// Advances a thread's volatile operation seqno past its checkpoint.
+pub const BUMPS_SEQNO: EffectSet = 1 << 8;
 
 /// Human-readable names of the effects set in `e`, for diagnostics.
 pub fn effect_names(e: EffectSet) -> Vec<&'static str> {
@@ -74,6 +78,8 @@ pub fn effect_names(e: EffectSet) -> Vec<&'static str> {
         (DRAINS_WPQ, "DrainsWpq"),
         (CRASH_BOUNDARY, "CrashBoundary"),
         (APPLIES_WRITES, "AppliesWrites"),
+        (PERSISTS_CHECKPOINT, "PersistsCheckpoint"),
+        (BUMPS_SEQNO, "BumpsSeqno"),
     ] {
         if e & bit != 0 {
             out.push(name);
@@ -94,6 +100,8 @@ pub fn primitive_effects(name: &str) -> EffectSet {
         "log_commit" => EMITS_COMMIT_MARKER,
         "log_txn" => APPENDS_LOG | EMITS_COMMIT_MARKER,
         "apply_writes" => APPLIES_WRITES,
+        "checkpoint_persist" => PERSISTS_CHECKPOINT,
+        "seqno_bump" => BUMPS_SEQNO,
         n if n.starts_with("inject_crash") => CRASH_BOUNDARY,
         _ => 0,
     }
@@ -257,6 +265,24 @@ pub fn primitive_wal(name: &str) -> Option<WalSummary> {
     }
 }
 
+/// The checkpoint transfer a call has by name, when it has one.
+///
+/// The recoverable-structure completion contract reuses the
+/// [`WalSummary`] state machine with only two live states:
+/// `checkpoint_persist` makes the thread's completion record durable
+/// (any state → committed, like a commit marker), and `seqno_bump`
+/// consumes it (committed → idle). Bumping the volatile seqno from a
+/// non-committed state is the violation: after a crash the thread's
+/// durable checkpoint lags its volatile progress and recovery
+/// re-executes an operation that already took effect.
+pub fn primitive_ckpt(name: &str) -> Option<WalSummary> {
+    match name {
+        "checkpoint_persist" => Some(WalSummary::COMMIT),
+        "seqno_bump" => Some(WalSummary::APPLY),
+        _ => None,
+    }
+}
+
 /// Inferred effects and summaries, parallel to [`SymbolTable::fns`].
 #[derive(Debug, Default)]
 pub struct EffectTable {
@@ -266,6 +292,8 @@ pub struct EffectTable {
     pub drains: Vec<DrainSummary>,
     /// WAL transfer per fn.
     pub wals: Vec<WalSummary>,
+    /// Checkpoint/seqno transfer per fn (recov completion contract).
+    pub ckpts: Vec<WalSummary>,
 }
 
 /// Iteration cap for the fixpoint: summaries propagate at least one
@@ -282,6 +310,7 @@ impl EffectTable {
             effects: vec![0; n],
             drains: vec![DrainSummary::IDENTITY; n],
             wals: vec![WalSummary::IDENTITY; n],
+            ckpts: vec![WalSummary::IDENTITY; n],
         };
         for _ in 0..MAX_PASSES {
             let mut changed = false;
@@ -291,11 +320,16 @@ impl EffectTable {
                 let mut eff = primitive_effects(&f.name);
                 let mut dr = DrainSummary::IDENTITY;
                 let mut wal = WalSummary::IDENTITY;
-                summarize(&f.body, f, symbols, &t, &mut eff, &mut dr, &mut wal);
-                if eff != t.effects[i] || dr != t.drains[i] || wal != t.wals[i] {
+                let mut ck = WalSummary::IDENTITY;
+                summarize(
+                    &f.body, f, symbols, &t, &mut eff, &mut dr, &mut wal, &mut ck,
+                );
+                if eff != t.effects[i] || dr != t.drains[i] || wal != t.wals[i] || ck != t.ckpts[i]
+                {
                     t.effects[i] = eff;
                     t.drains[i] = dr;
                     t.wals[i] = wal;
+                    t.ckpts[i] = ck;
                     changed = true;
                 }
             }
@@ -312,6 +346,7 @@ impl EffectTable {
 /// `rules::persist_order`: call arguments evaluate before the call
 /// takes effect, brace groups are conditional regions, other groups
 /// are transparent.
+#[allow(clippy::too_many_arguments)]
 fn summarize(
     toks: &[Tok],
     f: &FnDef,
@@ -320,6 +355,7 @@ fn summarize(
     eff: &mut EffectSet,
     dr: &mut DrainSummary,
     wal: &mut WalSummary,
+    ck: &mut WalSummary,
 ) {
     let mut i = 0;
     while i < toks.len() {
@@ -333,7 +369,7 @@ fn summarize(
             });
         if let Some(name) = call {
             if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
-                summarize(tokens, f, symbols, t, eff, dr, wal);
+                summarize(tokens, f, symbols, t, eff, dr, wal, ck);
             }
             let pe = primitive_effects(name);
             if pe != 0 {
@@ -344,10 +380,14 @@ fn summarize(
                 if let Some(w) = primitive_wal(name) {
                     *wal = wal.then(w);
                 }
+                if let Some(c) = primitive_ckpt(name) {
+                    *ck = ck.then(c);
+                }
             } else if let Some(c) = symbols.resolve(f, name) {
                 *eff |= t.effects[c];
                 *dr = dr.then(t.drains[c]);
                 *wal = wal.then(t.wals[c]);
+                *ck = ck.then(t.ckpts[c]);
             }
             i += 2;
             continue;
@@ -359,13 +399,17 @@ fn summarize(
                 let mut ieff = 0;
                 let mut idr = DrainSummary::IDENTITY;
                 let mut iwal = WalSummary::IDENTITY;
-                summarize(tokens, f, symbols, t, &mut ieff, &mut idr, &mut iwal);
+                let mut ick = WalSummary::IDENTITY;
+                summarize(
+                    tokens, f, symbols, t, &mut ieff, &mut idr, &mut iwal, &mut ick,
+                );
                 *eff |= ieff;
                 *dr = dr.then(idr.branched());
                 *wal = wal.then(iwal.branched());
+                *ck = ck.then(ick.branched());
             }
             Tok::Group { tokens, .. } => {
-                summarize(tokens, f, symbols, t, eff, dr, wal);
+                summarize(tokens, f, symbols, t, eff, dr, wal, ck);
             }
             _ => {}
         }
@@ -430,6 +474,33 @@ mod tests {
             0,
             "commit under an if leaves maybe-uncommitted alive"
         );
+    }
+
+    #[test]
+    fn ckpt_summaries_track_persist_before_bump() {
+        let (s, t) = build(
+            "fn good() { checkpoint_persist(m); seqno_bump(); }\n\
+             fn bad() { seqno_bump(); checkpoint_persist(m); }\n\
+             fn cond_persist() { if y { checkpoint_persist(m); } seqno_bump(); }\n\
+             fn wrapper() { good(); }\n",
+        );
+        let good = t.ckpts[idx(&s, "good")];
+        assert_eq!(good.unsafe_in, 0);
+        assert_eq!(good.apply(ST_IDLE), ST_IDLE);
+        let bad = t.ckpts[idx(&s, "bad")];
+        assert_ne!(bad.unsafe_in & ST_IDLE, 0, "bump before the checkpoint");
+        let cond = t.ckpts[idx(&s, "cond_persist")];
+        assert_ne!(
+            cond.unsafe_in & ST_IDLE,
+            0,
+            "checkpoint under an if leaves maybe-unpersisted alive"
+        );
+        // Summaries propagate: the wrapper inherits the safe transfer
+        // and both effect bits.
+        assert_eq!(t.ckpts[idx(&s, "wrapper")].unsafe_in, 0);
+        let eff = t.effects[idx(&s, "wrapper")];
+        assert_ne!(eff & PERSISTS_CHECKPOINT, 0);
+        assert_ne!(eff & BUMPS_SEQNO, 0);
     }
 
     #[test]

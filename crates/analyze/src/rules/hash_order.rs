@@ -16,6 +16,7 @@ const SCOPES: &[&str] = &[
     "crates/mem/",
     "crates/meta/",
     "crates/kv/",
+    "crates/recov/",
 ];
 
 impl Rule for HashOrder {

@@ -15,7 +15,13 @@ use crate::rules::walk_slices;
 pub struct PanicPolicy;
 
 /// Crates holding the persistence-critical state machines.
-const SCOPES: &[&str] = &["crates/core/", "crates/mem/", "crates/meta/", "crates/kv/"];
+const SCOPES: &[&str] = &[
+    "crates/core/",
+    "crates/mem/",
+    "crates/meta/",
+    "crates/kv/",
+    "crates/recov/",
+];
 
 impl Rule for PanicPolicy {
     fn id(&self) -> &'static str {

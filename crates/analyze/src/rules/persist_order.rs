@@ -35,10 +35,24 @@
 //! return with a logged transaction left unapplied — and, since v2, a
 //! call to any helper whose [`WalSummary`] applies writes from a
 //! maybe-uncommitted input state.
+//!
+//! # The recov section
+//!
+//! The detectably recoverable structures in `crates/recov` carry the
+//! same shape of contract on operation completion: a thread's volatile
+//! seqno may only advance (`seqno_bump`) after its completion
+//! checkpoint is durable (`checkpoint_persist`), on every Ok path —
+//! otherwise a crash re-executes an operation that already took
+//! effect (the exactly-once guarantee breaks). The rule audits every
+//! public `&mut self` fn in the recov crate whose inferred effects
+//! touch the checkpoint vocabulary, reusing the WAL state machinery:
+//! `checkpoint_persist` is commit-like, `seqno_bump` apply-like, and
+//! both a bump from a maybe-unpersisted state and an Ok return with a
+//! durable-but-unconsumed checkpoint are findings.
 
 use crate::effects::{
-    WalSummary, APPENDS_LOG, APPLIES_WRITES, EMITS_COMMIT_MARKER, PERSISTS_DATA, PERSISTS_METADATA,
-    ST_APPENDED, ST_COMMITTED, ST_IDLE,
+    WalSummary, APPENDS_LOG, APPLIES_WRITES, BUMPS_SEQNO, EMITS_COMMIT_MARKER, PERSISTS_CHECKPOINT,
+    PERSISTS_DATA, PERSISTS_METADATA, ST_APPENDED, ST_COMMITTED, ST_IDLE,
 };
 use crate::lexer::Span;
 use crate::lint::{Finding, Severity, WorkspaceRule};
@@ -58,6 +72,11 @@ const KV_TYPE: &str = "KvStore";
 /// The crates whose `SecureMemory`/`KvStore` impls are audited.
 const AUDITED_CRATES: &[&str] = &["core", "kv", "mem"];
 
+/// The crate whose whole public `&mut self` surface the checkpoint
+/// section covers (the contract follows the vocabulary, not a type:
+/// `ThreadCtx` and the step machines all complete operations).
+const CKPT_CRATE: &str = "recov";
+
 impl WorkspaceRule for PersistOrder {
     fn id(&self) -> &'static str {
         "persist-order"
@@ -76,10 +95,26 @@ impl WorkspaceRule for PersistOrder {
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
         for (i, f) in ws.symbols.fns.iter().enumerate() {
             let file = &ws.files[f.file];
-            if !matches!(crate_of(&file.path), Some(c) if AUDITED_CRATES.contains(&c)) {
+            let krate = crate_of(&file.path);
+            if !matches!(krate, Some(c) if AUDITED_CRATES.contains(&c) || c == CKPT_CRATE) {
                 continue;
             }
             if !f.is_pub || !f.mut_self || f.trait_impl || file.is_test_line(f.span.line) {
+                continue;
+            }
+            if krate == Some(CKPT_CRATE) {
+                if ws.effects.effects[i] & (PERSISTS_CHECKPOINT | BUMPS_SEQNO) == 0 {
+                    continue;
+                }
+                let mut states = ST_IDLE;
+                let mut w = CkptWalk {
+                    ws,
+                    f,
+                    rule: self,
+                    path: &file.path,
+                    out,
+                };
+                w.walk(&f.body, &mut states, true);
                 continue;
             }
             match f.owner.as_deref() {
@@ -311,6 +346,110 @@ impl KvWalk<'_, '_> {
             message: format!(
                 "`{}` {how}; the WAL contract is \
                  log_append -> log_commit -> apply_writes on every Ok path",
+                self.f.name
+            ),
+        });
+    }
+}
+
+/// The checkpoint-completion walker over one audited recov fn: the
+/// same state-set machinery as [`KvWalk`], instantiated with the
+/// checkpoint vocabulary ([`crate::effects::primitive_ckpt`]). Live
+/// states are idle and committed (checkpoint durable); the violations
+/// are a `seqno_bump` reachable from a maybe-unpersisted state and an
+/// Ok return with a durable checkpoint whose bump never happened.
+struct CkptWalk<'a, 'o> {
+    ws: &'a Workspace,
+    f: &'a FnDef,
+    rule: &'a PersistOrder,
+    path: &'a str,
+    out: &'o mut Vec<Finding>,
+}
+
+impl CkptWalk<'_, '_> {
+    fn walk(&mut self, toks: &[Tok], states: &mut u8, top: bool) {
+        let mut i = 0;
+        while i < toks.len() {
+            if let Some(name) = call_at(toks, i) {
+                let transfer: Option<(WalSummary, bool)> = crate::effects::primitive_ckpt(name)
+                    .map(|w| (w, true))
+                    .or_else(|| {
+                        self.ws
+                            .symbols
+                            .resolve(self.f, name)
+                            .filter(|_| crate::effects::primitive_effects(name) == 0)
+                            .map(|c| (self.ws.effects.ckpts[c], false))
+                            .filter(|(w, _)| *w != WalSummary::IDENTITY)
+                    });
+                if let Some((t, direct)) = transfer {
+                    if let Some(Tok::Group { tokens, .. }) = toks.get(i + 1) {
+                        // Arguments evaluate before the call takes
+                        // effect.
+                        self.walk(tokens, states, false);
+                    }
+                    if t.unsafe_on(*states) {
+                        let how = if direct {
+                            "advances the operation seqno on a path where the \
+                             completion checkpoint may not be durable"
+                                .to_string()
+                        } else {
+                            format!(
+                                "calls `{name}`, which advances the operation seqno, on a \
+                                 path where the completion checkpoint may not be durable"
+                            )
+                        };
+                        self.report(toks[i].span(), &how);
+                    }
+                    *states = t.apply(*states);
+                    i += 2;
+                    continue;
+                }
+            }
+            match &toks[i] {
+                t if t.is_ident("return")
+                    && *states & (ST_APPENDED | ST_COMMITTED) != 0
+                    && matches!(toks.get(i + 1), Some(x) if x.is_ident("Ok")) =>
+                {
+                    self.report(
+                        t.span(),
+                        "returns Ok with a durable checkpoint whose seqno bump never ran",
+                    );
+                }
+                Tok::Group {
+                    delim: '{', tokens, ..
+                } => {
+                    let mut inner = *states;
+                    self.walk(tokens, &mut inner, false);
+                    *states |= inner;
+                }
+                Tok::Group { tokens, .. } => {
+                    self.walk(tokens, states, false);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if top && *states & (ST_APPENDED | ST_COMMITTED) != 0 {
+            let n = toks.len();
+            if n >= 2 && toks[n - 2].is_ident("Ok") && toks[n - 1].is_group('(') {
+                self.report(
+                    toks[n - 2].span(),
+                    "falls off the end with Ok while a durable checkpoint's seqno bump never ran",
+                );
+            }
+        }
+    }
+
+    fn report(&mut self, span: Span, how: &str) {
+        self.out.push(Finding {
+            rule: self.rule.id(),
+            severity: self.rule.severity(),
+            path: self.path.to_string(),
+            line: span.line,
+            col: span.col,
+            message: format!(
+                "`{}` {how}; the completion contract is \
+                 checkpoint_persist -> seqno_bump on every Ok path",
                 self.f.name
             ),
         });

@@ -22,6 +22,7 @@ const SCOPES: &[&str] = &[
     "crates/core/",
     "crates/meta/",
     "crates/kv/",
+    "crates/recov/",
 ];
 
 /// The reporting traits a stats struct hangs its counters on: the

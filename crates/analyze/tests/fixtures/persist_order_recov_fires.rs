@@ -1,0 +1,60 @@
+impl ThreadCtx {
+    // BAD: the volatile seqno advances before the completion
+    // checkpoint is durable — a crash in between re-executes an
+    // operation that already took effect.
+    pub fn complete_unordered(&mut self, mem: &mut Mem, seq: u64) -> Result<(), Error> {
+        self.seqno_bump();
+        self.checkpoint_persist(mem, seq, 1, 0)?;
+        self.seqno_bump();
+        Ok(())
+    }
+
+    // BAD: the checkpoint is conditional, so the bump may run on a
+    // path where the completion record was never persisted.
+    pub fn complete_conditional(&mut self, mem: &mut Mem, seq: u64, fast: bool) -> Result<(), Error> {
+        if fast {
+            self.checkpoint_persist(mem, seq, 1, 0)?;
+        }
+        self.seqno_bump();
+        Ok(())
+    }
+
+    // BAD: the durable checkpoint's bump never runs — the volatile
+    // seqno now lags the durable record and the next operation reuses
+    // a sequence number the checkpoint already covers.
+    pub fn complete_abandoned(&mut self, mem: &mut Mem, seq: u64) -> Result<(), Error> {
+        self.checkpoint_persist(mem, seq, 1, 0)?;
+        Ok(())
+    }
+
+    // GOOD: the canonical completion order.
+    pub fn complete_op(&mut self, mem: &mut Mem, seq: u64) -> Result<(), Error> {
+        self.checkpoint_persist(mem, seq, 1, 0)?;
+        self.seqno_bump();
+        Ok(())
+    }
+
+    // GOOD: error paths make no completion promise.
+    pub fn complete_failing(&mut self, mem: &mut Mem, seq: u64) -> Result<(), Error> {
+        if seq == 0 {
+            return Err(Error::BadSeq);
+        }
+        self.checkpoint_persist(mem, seq, 1, 0)?;
+        self.seqno_bump();
+        Ok(())
+    }
+
+    // Not audited: no checkpoint vocabulary in reach.
+    pub fn touch(&mut self, _mem: &mut Mem) -> Result<(), Error> {
+        Ok(())
+    }
+}
+
+impl StackMachine {
+    // GOOD: the completion arrives through a resolved helper whose
+    // summary is persist-then-bump.
+    pub fn finish(&mut self, mem: &mut Mem, ctx: &mut ThreadCtx) -> Result<(), Error> {
+        ctx.complete_op(mem, 7)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,8 @@
+impl ThreadCtx {
+    pub fn adopt_checkpoint(&mut self, mem: &mut Mem, seq: u64) -> Result<(), Error> {
+        // Recovery-only path: the bump is deferred to the caller that
+        // replays the in-flight operation.
+        self.checkpoint_persist(mem, seq, 1, 0)?;
+        Ok(()) // triad-lint: allow(persist-order) -- fixture: recovery defers the bump
+    }
+}

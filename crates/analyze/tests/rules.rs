@@ -252,6 +252,43 @@ fn persist_order_kv_tracks_batched_txn_appends() {
 }
 
 #[test]
+fn persist_order_recov_fires_on_completion_order_violations() {
+    let hits = rule_hits(
+        "crates/recov/src/memento.rs",
+        "persist_order_recov_fires.rs",
+        "persist-order",
+    );
+    // complete_unordered's premature bump, complete_conditional's
+    // maybe-unpersisted bump, complete_abandoned's tail Ok with the
+    // bump never run; complete_op / complete_failing / touch and the
+    // helper-resolved StackMachine::finish stay clean.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert_eq!(hits[0].0, 6, "bump before the checkpoint");
+    assert_eq!(hits[1].0, 18, "bump under a conditional checkpoint");
+    assert_eq!(hits[2].0, 27, "durable checkpoint never bumped at tail Ok");
+}
+
+#[test]
+fn persist_order_recov_respects_suppression() {
+    let f = analyze_source(
+        "crates/recov/src/memento.rs",
+        &fixture("persist_order_recov_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn persist_order_recov_is_scoped_to_the_recov_crate() {
+    // The same source is silent outside crates/recov (bench drivers
+    // may orchestrate completion however they like).
+    let f = analyze_source(
+        "crates/bench/src/driver.rs",
+        &fixture("persist_order_recov_fires.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule != "persist-order"), "{f:?}");
+}
+
+#[test]
 fn persist_order_catches_interprocedural_enqueue() {
     // The shape v1 could never see: the pub op names no queue
     // primitive at all — the enqueue is two private helpers deep.

@@ -105,6 +105,28 @@ fn kv_mutant_without_txn_append_is_flagged() {
 }
 
 #[test]
+fn recov_mutant_without_seqno_bump_is_flagged() {
+    // Strip the bump from the real completion path: the durable
+    // checkpoint now outruns the thread's volatile seqno, so the next
+    // operation would reuse a sequence number the checkpoint already
+    // covers — the exactly-once violation the recov section exists
+    // for.
+    let rel = "crates/recov/src/memento.rs";
+    let memento = read_crate_file(rel);
+    assert!(findings_for(rel, &memento, "persist-order").is_empty());
+
+    let needle = "        self.seqno_bump();\n";
+    assert!(memento.contains(needle), "seqno_bump anchor moved");
+    let mutant = memento.replacen(needle, "", 1);
+    let hits = findings_for(rel, &mutant, "persist-order");
+    assert!(!hits.is_empty(), "checkpoint without bump not flagged");
+    assert!(
+        hits.iter().any(|(_, m)| m.contains("seqno bump")),
+        "{hits:?}"
+    );
+}
+
+#[test]
 fn engine_mutant_with_shared_static_is_flagged() {
     // Seed a process-global tick counter into the real engine and
     // bump it from the hottest public op: exactly the shared-state

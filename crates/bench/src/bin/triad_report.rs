@@ -10,7 +10,13 @@
 //! drive the sharded [`KvService`] front-end on the same seeded
 //! request schedule and measure aggregate throughput vs. shard count
 //! and the commit-marker amortization of group commit (window 8 vs.
-//! the unbatched window-1 `fleet-nogc` row). Emits `BENCH_pr8.json`
+//! the unbatched window-1 `fleet-nogc` row). Eight recov rows
+//! (`stack-mixed-1..4`, `queue-mixed-1..4`) drive the detectably
+//! recoverable Treiber stack / MS queue from `triad-recov` through the
+//! seeded interleaving harness at 1–4 threads, with the concurrent
+//! crash-equivalence oracle checked on every run; their `recovered`
+//! column re-runs the cell with a mid-run per-thread crash injected
+//! and demands the oracle still pass. Emits `BENCH_pr9.json`
 //! (deterministic: running twice with the same seed is byte-identical)
 //! plus a human-readable table.
 //!
@@ -36,8 +42,9 @@ use triad_core::{PersistScheme, SecureMemoryBuilder, System};
 use triad_sim::config::SystemConfig;
 use triad_sim::stats::Histogram;
 use triad_workloads::kv::{generate_history, oracle_apply, KvFleet, KvSpec, Model};
+use triad_workloads::recov::StructureKind;
 use triad_workloads::service::{generate_requests, KvService, Request, Response, ServiceSpec};
-use triad_workloads::{build_workload, WorkloadEnv};
+use triad_workloads::{build_workload, run_recov_mix, RecovMixSpec, WorkloadEnv};
 
 /// The serving-layer extras a fleet row carries on top of the common
 /// cell columns: shard geometry and group-commit amortization.
@@ -63,6 +70,16 @@ impl FleetExtra {
     }
 }
 
+/// The lock-free-structure extras a recov row carries: thread count,
+/// scheduler work, crash bookkeeping, and persist amortization.
+struct RecovExtra {
+    threads: u64,
+    steps: u64,
+    thread_crashes: u64,
+    engine_crashes: u64,
+    persists_per_op: f64,
+}
+
 /// One (workload, scheme) cell of the matrix.
 struct Cell {
     workload: &'static str,
@@ -79,6 +96,8 @@ struct Cell {
     recovery_ns: u64,
     /// `Some` on the serving-fleet rows only.
     fleet: Option<FleetExtra>,
+    /// `Some` on the recov lock-free-structure rows only.
+    recov: Option<RecovExtra>,
 }
 
 /// The report runs on a small machine (tiny caches, 16 MiB NVM) so the
@@ -143,6 +162,7 @@ fn run_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) 
         recovery_blocks_read: report.persistent_blocks_read + report.non_persistent_blocks_read,
         recovery_ns: report.estimated_duration.as_ns(),
         fleet: None,
+        recov: None,
     }
 }
 
@@ -212,6 +232,7 @@ fn run_kv_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u6
         recovery_blocks_read,
         recovery_ns,
         fleet: None,
+        recov: None,
     }
 }
 
@@ -309,6 +330,76 @@ fn run_fleet_cell(
             commit_markers: groups.commit_markers,
             shed: groups.shed,
         }),
+        recov: None,
+    }
+}
+
+/// A recov cell: drives the detectably recoverable Treiber stack or
+/// MS queue from `triad-recov` through the seeded interleaving
+/// harness at `threads` threads, mixed insert/remove scripts, on
+/// TriadNVM-2. Every run is checked against the concurrent
+/// crash-equivalence oracle; latency samples are per-completed-op on
+/// the engine clock, and `persists_per_op` is the recov analogue of
+/// the fleet rows' `markers_per_mutation`. The `recovered` column
+/// re-runs the cell with a per-thread crash injected mid-run and is
+/// true only if the crashed thread's recovery keeps the commit log
+/// linearizable with every op applied exactly once.
+fn run_recov_cell(
+    workload: &'static str,
+    kind: StructureKind,
+    threads: usize,
+    ops: u64,
+    seed: u64,
+) -> Cell {
+    let spec = RecovMixSpec {
+        kind,
+        threads,
+        ops_per_thread: (ops / 8).max(32) as usize,
+        scheme: PersistScheme::triad_nvm(2),
+        seed,
+        thread_crash: None,
+    };
+    let res = run_recov_mix(&spec).expect("recov oracle holds on the clean run");
+    let out = &res.outcome;
+    let mut latency = Histogram::new();
+    for &ns in &out.op_latency_ns {
+        latency.record(ns);
+    }
+
+    // Crash the last thread mid-run and demand the oracle still pass:
+    // this is the detectability column — recovery must resolve the
+    // in-flight op and re-execute it at most once.
+    let crash_at = out.per_thread_steps[threads - 1] / 2;
+    let crashed = RecovMixSpec {
+        thread_crash: Some((threads - 1, crash_at)),
+        ..spec
+    };
+    let recovered = match run_recov_mix(&crashed) {
+        Ok(r) => r.outcome.thread_crashes == 1,
+        Err(_) => false,
+    };
+
+    Cell {
+        workload,
+        scheme: spec.scheme,
+        ops: out.op_latency_ns.len() as u64,
+        throughput: res.ops_per_sec,
+        latency,
+        nvm_writes: out.nvm_writes,
+        persist_metadata_writes: out.persist_metadata_writes,
+        evict_metadata_writes: 0,
+        wpq_full_events: 0,
+        recovered,
+        recovery_blocks_read: 0,
+        recovery_ns: 0,
+        fleet: None,
+        recov: Some(RecovExtra {
+            threads: threads as u64,
+            steps: out.steps,
+            thread_crashes: out.thread_crashes,
+            engine_crashes: out.engine_crashes,
+            persists_per_op: res.persists_per_op,
+        }),
     }
 }
 
@@ -378,6 +469,14 @@ fn render_json(cells: &[Cell], ops: u64, seed: u64, smoke: bool) -> String {
                 f.shed,
             );
         }
+        if let Some(r) = &c.recov {
+            let _ = write!(
+                out,
+                ", \"recov\": {{ \"threads\": {}, \"steps\": {}, \"thread_crashes\": {}, \
+                 \"engine_crashes\": {}, \"persists_per_op\": {:.4} }}",
+                r.threads, r.steps, r.thread_crashes, r.engine_crashes, r.persists_per_op,
+            );
+        }
         out.push_str(" }");
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -414,7 +513,7 @@ fn print_table(cells: &[Cell]) {
 fn main() {
     let mut smoke = false;
     let mut ops: Option<u64> = None;
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr9.json");
     let mut seed: u64 = 42;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -457,6 +556,11 @@ fn main() {
             "kv-uniform",
         ]
     };
+    // Recov rows keep full depth even under --smoke (they are cheap,
+    // and identical specs make the smoke rows exact replicas of the
+    // checked-in baseline rows, so the pr9 gate compares like for
+    // like instead of different mix-amortization depths).
+    let recov_ops = ops.unwrap_or(4000);
     let ops = ops.unwrap_or(if smoke { 800 } else { 4000 });
 
     let mut cells = Vec::new();
@@ -482,6 +586,32 @@ fn main() {
         ("fleet-nogc", 4, 1),
     ] {
         cells.push(run_fleet_cell(label, shards, window, ops, seed));
+    }
+
+    // The recov rows sweep thread count (not scheme) for the two
+    // detectably recoverable structures; the 1-thread → 4-thread
+    // progression is the contention curve and `persists_per_op` the
+    // per-op persistence price of detectability. Smoke keeps one
+    // mid-contention row per structure.
+    let recov_rows: &[(&'static str, StructureKind, usize)] = if smoke {
+        &[
+            ("stack-mixed-2", StructureKind::Stack, 2),
+            ("queue-mixed-2", StructureKind::Queue, 2),
+        ]
+    } else {
+        &[
+            ("stack-mixed-1", StructureKind::Stack, 1),
+            ("stack-mixed-2", StructureKind::Stack, 2),
+            ("stack-mixed-3", StructureKind::Stack, 3),
+            ("stack-mixed-4", StructureKind::Stack, 4),
+            ("queue-mixed-1", StructureKind::Queue, 1),
+            ("queue-mixed-2", StructureKind::Queue, 2),
+            ("queue-mixed-3", StructureKind::Queue, 3),
+            ("queue-mixed-4", StructureKind::Queue, 4),
+        ]
+    };
+    for &(label, kind, threads) in recov_rows {
+        cells.push(run_recov_cell(label, kind, threads, recov_ops, seed));
     }
 
     print_table(&cells);

@@ -423,7 +423,9 @@ impl SecureMemory {
         for (class, w) in &writes {
             if let Some(left) = self.crash_after_wpq_writes {
                 if left == 0 {
-                    self.crash_after_wpq_writes = None;
+                    // First fire wins: disarm the persist-boundary
+                    // hook too.
+                    self.disarm_crash_hooks();
                     emit(
                         &self.events,
                         t,

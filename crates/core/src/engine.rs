@@ -47,7 +47,7 @@ use triad_sim::time::{Duration, Time};
 use triad_sim::{BlockAddr, PhysAddr, BLOCK_BYTES};
 
 use crate::batch::PendingBatch;
-use crate::error::{IntegrityKind, SecureMemoryError};
+use crate::error::{CrashHookKind, IntegrityKind, SecureMemoryError};
 use crate::recovery::{CorruptRange, RecoveryReport};
 use crate::registers::{PersistentRegisters, StagedUpdate, StagedWrite};
 use crate::scheme::{CounterPersistence, KeyPolicy, PersistScheme};
@@ -442,7 +442,7 @@ pub struct SecureMemory {
     /// Test hook: crash instead of performing the n-th further
     /// durability point (persist/flush write-back, epoch member flush,
     /// one batch member apply).
-    crash_after_persists: Option<u64>,
+    pub(crate) crash_after_persists: Option<u64>,
 }
 
 impl SecureMemory {
@@ -605,6 +605,14 @@ impl SecureMemory {
     /// Arms the crash hook: the engine will crash after `n` further
     /// WPQ copies performed inside atomic persists (0 = before the
     /// next one). Used by crash-consistency tests.
+    ///
+    /// Legacy arming API: re-arming silently overwrites (sweep loops
+    /// rely on that), and it may be combined with
+    /// [`SecureMemory::inject_crash_after_persists`] — precedence is
+    /// whichever-fires-first-wins, and the first fire disarms every
+    /// other armed hook so the loser can never fire spuriously after
+    /// recovery. New code should prefer the typed
+    /// [`SecureMemory::arm_crash`], which rejects conflicting arming.
     pub fn inject_crash_after_wpq_writes(&mut self, n: u64) {
         self.crash_after_wpq_writes = Some(n);
     }
@@ -622,8 +630,59 @@ impl SecureMemory {
     /// fixed history (the KV crash-equivalence suite).
     ///
     /// [`SecureMemory::persist_batch`]: SecureMemory::persist_batch
+    ///
+    /// Legacy arming API with the same overwrite/precedence semantics
+    /// as [`SecureMemory::inject_crash_after_wpq_writes`]; prefer
+    /// [`SecureMemory::arm_crash`] in new code.
     pub fn inject_crash_after_persists(&mut self, n: u64) {
         self.crash_after_persists = Some(n);
+    }
+
+    /// The crash hook currently armed, if any. When both legacy hooks
+    /// were armed through the `inject_*` API this reports the
+    /// persist-boundary hook (the one that fires at the coarser
+    /// boundary), but the runtime precedence is always
+    /// whichever-fires-first-wins.
+    pub fn armed_crash_hook(&self) -> Option<CrashHookKind> {
+        if self.crash_after_persists.is_some() {
+            Some(CrashHookKind::PersistBoundary)
+        } else if self.crash_after_wpq_writes.is_some() {
+            Some(CrashHookKind::WpqWrite)
+        } else {
+            None
+        }
+    }
+
+    /// Typed crash-hook arming: arms `kind` to fire after `n` further
+    /// trigger points, like the legacy `inject_*` pair, but rejects
+    /// arming while **any** hook is still armed — conflicting re-arms
+    /// were previously silent and their precedence undefined. The
+    /// defined precedence is whichever-fires-first-wins: the first
+    /// hook to fire disarms all others.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureMemoryError::CrashHookArmed`] when a hook (of either
+    /// kind) is already armed; disarm with
+    /// [`SecureMemory::disarm_crash_hooks`] first.
+    pub fn arm_crash(&mut self, kind: CrashHookKind, n: u64) -> Result<()> {
+        if let Some(existing) = self.armed_crash_hook() {
+            return Err(SecureMemoryError::CrashHookArmed {
+                existing,
+                requested: kind,
+            });
+        }
+        match kind {
+            CrashHookKind::PersistBoundary => self.crash_after_persists = Some(n),
+            CrashHookKind::WpqWrite => self.crash_after_wpq_writes = Some(n),
+        }
+        Ok(())
+    }
+
+    /// Disarms every armed crash hook (idempotent).
+    pub fn disarm_crash_hooks(&mut self) {
+        self.crash_after_persists = None;
+        self.crash_after_wpq_writes = None;
     }
 
     /// Consumes one durability point from the persist-boundary crash
@@ -633,7 +692,9 @@ impl SecureMemory {
     pub(crate) fn persist_boundary_crash(&mut self, now: Time) -> bool {
         match self.crash_after_persists {
             Some(0) => {
-                self.crash_after_persists = None;
+                // First fire wins: a concurrently armed WPQ-write hook
+                // must not fire spuriously after recovery.
+                self.disarm_crash_hooks();
                 emit(
                     &self.events,
                     now,
@@ -1309,7 +1370,9 @@ impl SecureMemory {
                 for w in &writes {
                     if let Some(left) = self.crash_after_wpq_writes {
                         if left == 0 {
-                            self.crash_after_wpq_writes = None;
+                            // First fire wins: disarm the persist-
+                            // boundary hook too.
+                            self.disarm_crash_hooks();
                             emit(
                                 &self.events,
                                 t,

@@ -26,6 +26,28 @@ impl fmt::Display for IntegrityKind {
     }
 }
 
+/// The crash hooks a [`crate::engine::SecureMemory`] can arm. Used by
+/// the typed arming API (`SecureMemory::arm_crash`) and by
+/// [`SecureMemoryError::CrashHookArmed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashHookKind {
+    /// Crash instead of the n-th durability point
+    /// (`inject_crash_after_persists`).
+    PersistBoundary,
+    /// Crash after n further WPQ copies inside atomic persists
+    /// (`inject_crash_after_wpq_writes`).
+    WpqWrite,
+}
+
+impl fmt::Display for CrashHookKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashHookKind::PersistBoundary => write!(f, "persist-boundary crash hook"),
+            CrashHookKind::WpqWrite => write!(f, "WPQ-write crash hook"),
+        }
+    }
+}
+
 /// Errors returned by [`crate::engine::SecureMemory`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SecureMemoryError {
@@ -66,6 +88,17 @@ pub enum SecureMemoryError {
     NotPersistent {
         /// The offending address.
         addr: PhysAddr,
+    },
+    /// `arm_crash` was called while a crash hook was already armed.
+    /// Hook precedence is whichever-fires-first-wins (the first hook
+    /// to fire disarms every other armed hook), so arming a second
+    /// hook is almost always a test bug; the typed API rejects it
+    /// instead of silently stacking.
+    CrashHookArmed {
+        /// The hook that is already armed.
+        existing: CrashHookKind,
+        /// The hook the rejected call tried to arm.
+        requested: CrashHookKind,
     },
     /// `begin_epoch` was called while an epoch was already open.
     /// Nested epochs have no defined ordering semantics, so reentrancy
@@ -111,6 +144,16 @@ impl fmt::Display for SecureMemoryError {
             }
             SecureMemoryError::NotPersistent { addr } => {
                 write!(f, "persist issued for non-persistent address {addr}")
+            }
+            SecureMemoryError::CrashHookArmed {
+                existing,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "cannot arm the {requested}: the {existing} is already armed \
+                     (first fire wins; disarm it first)"
+                )
             }
             SecureMemoryError::EpochAlreadyOpen => {
                 write!(f, "an epoch is already open; nested epochs are rejected")

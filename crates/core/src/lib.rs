@@ -45,7 +45,7 @@ pub use batch::WriteBatch;
 pub use engine::{
     RegionHandle, Result, SecureHists, SecureMemory, SecureMemoryBuilder, SecureStats,
 };
-pub use error::{IntegrityKind, SecureMemoryError};
+pub use error::{CrashHookKind, IntegrityKind, SecureMemoryError};
 pub use recovery::{CorruptRange, LogReplayStats, PinpointReport, RecoveryModel, RecoveryReport};
 pub use registers::{PersistentRegisters, StagedUpdate, StagedWrite};
 pub use scheme::{CounterPersistence, KeyPolicy, PersistScheme};

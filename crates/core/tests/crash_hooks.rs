@@ -1,0 +1,118 @@
+//! Crash-hook composition pins (issue-9 satellite).
+//!
+//! Two engine-level hooks exist — the persist-boundary hook and the
+//! WPQ-write hook — and `triad-recov` adds a third, scheduler-level
+//! per-thread hook on top. The composition contract pinned here:
+//! **whichever hook fires first wins**, and firing disarms every other
+//! armed hook, so the loser can never fire spuriously after recovery.
+//! The typed arming API rejects conflicting re-arms outright.
+
+use triad_core::{
+    CrashHookKind, PersistScheme, SecureMemory, SecureMemoryBuilder, SecureMemoryError,
+};
+
+fn mem() -> SecureMemory {
+    SecureMemoryBuilder::new()
+        .scheme(PersistScheme::triad_nvm(2))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn typed_arming_rejects_conflicting_rearm() {
+    let mut m = mem();
+    m.arm_crash(CrashHookKind::PersistBoundary, 3).unwrap();
+    assert_eq!(
+        m.arm_crash(CrashHookKind::WpqWrite, 1).unwrap_err(),
+        SecureMemoryError::CrashHookArmed {
+            existing: CrashHookKind::PersistBoundary,
+            requested: CrashHookKind::WpqWrite,
+        }
+    );
+    // Same-kind re-arm is rejected too: the typed API has no silent
+    // overwrite at all.
+    assert_eq!(
+        m.arm_crash(CrashHookKind::PersistBoundary, 9).unwrap_err(),
+        SecureMemoryError::CrashHookArmed {
+            existing: CrashHookKind::PersistBoundary,
+            requested: CrashHookKind::PersistBoundary,
+        }
+    );
+    m.disarm_crash_hooks();
+    assert_eq!(m.armed_crash_hook(), None);
+    m.arm_crash(CrashHookKind::WpqWrite, 1).unwrap();
+    assert_eq!(m.armed_crash_hook(), Some(CrashHookKind::WpqWrite));
+}
+
+#[test]
+fn persist_boundary_fire_disarms_the_wpq_hook() {
+    let mut m = mem();
+    let a = m.persistent_region().start();
+    // Arm both through the legacy API: persist-boundary fires first
+    // (boundary 0 = the very next durability point), while the WPQ
+    // hook is armed far in the future.
+    m.inject_crash_after_persists(0);
+    m.inject_crash_after_wpq_writes(1_000_000);
+    m.write(a, &[7u8; 64]).unwrap();
+    assert_eq!(m.persist(a).unwrap_err(), SecureMemoryError::NeedsRecovery);
+    // First fire wins: the WPQ hook must be gone, or it would fire
+    // spuriously in some later (post-recovery) atomic persist.
+    assert_eq!(m.armed_crash_hook(), None);
+    m.recover().unwrap();
+    for i in 0..32u64 {
+        m.write(triad_sim::PhysAddr(a.0 + i * 64), &[i as u8; 64])
+            .unwrap();
+        m.persist(triad_sim::PhysAddr(a.0 + i * 64)).unwrap();
+    }
+}
+
+#[test]
+fn wpq_fire_disarms_the_persist_boundary_hook() {
+    let mut m = mem();
+    let a = m.persistent_region().start();
+    // WPQ hook fires inside the first atomic persist (after one WPQ
+    // copy); the persist-boundary hook is armed for a boundary that
+    // the crash preempts.
+    m.inject_crash_after_wpq_writes(1);
+    m.inject_crash_after_persists(5);
+    m.write(a, &[9u8; 64]).unwrap();
+    assert_eq!(m.persist(a).unwrap_err(), SecureMemoryError::NeedsRecovery);
+    assert_eq!(
+        m.armed_crash_hook(),
+        None,
+        "first fire must disarm the persist-boundary hook too"
+    );
+    m.recover().unwrap();
+    // Plenty of further durability points: none may crash.
+    for i in 0..16u64 {
+        m.write(triad_sim::PhysAddr(a.0 + i * 64), &[i as u8; 64])
+            .unwrap();
+        m.persist(triad_sim::PhysAddr(a.0 + i * 64)).unwrap();
+    }
+}
+
+#[test]
+fn armed_hook_reports_and_typed_arm_fires_like_legacy() {
+    let mut m = mem();
+    let a = m.persistent_region().start();
+    m.arm_crash(CrashHookKind::PersistBoundary, 0).unwrap();
+    assert_eq!(m.armed_crash_hook(), Some(CrashHookKind::PersistBoundary));
+    m.write(a, &[1u8; 64]).unwrap();
+    assert_eq!(m.persist(a).unwrap_err(), SecureMemoryError::NeedsRecovery);
+    m.recover().unwrap();
+    m.write(a, &[2u8; 64]).unwrap();
+    m.persist(a).unwrap();
+    assert_eq!(m.read(a).unwrap(), [2u8; 64]);
+}
+
+#[test]
+fn crash_hook_error_displays() {
+    let e = SecureMemoryError::CrashHookArmed {
+        existing: CrashHookKind::WpqWrite,
+        requested: CrashHookKind::PersistBoundary,
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("WPQ-write"), "{msg}");
+    assert!(msg.contains("persist-boundary"), "{msg}");
+    assert!(msg.contains("first fire wins"), "{msg}");
+}

@@ -23,11 +23,32 @@
 //! stays advanced, nothing points at the blocks, and they are never
 //! reused, so they still read as zeros). That is the documented,
 //! regression-pinned behavior: leak-on-crash, never reuse-on-crash.
+//!
+//! ## Concurrent callers and allocation slots
+//!
+//! The heap has a **single-allocator discipline**: the cursor is one
+//! shared word with no CAS, so raw [`PersistentHeap::alloc_blocks`]
+//! is only sound when each call runs as one atomic step of a single
+//! driver (the `triad-recov` interleaver) or from a single thread.
+//! Concurrent *recovering* callers additionally need to know whether
+//! an allocation they were making when they crashed took effect; raw
+//! `alloc_blocks` cannot tell them (the leak-on-crash hazard above).
+//!
+//! For that, the heap offers per-thread **allocation slots**
+//! ([`PersistentHeap::register_alloc_slots`], enforced by typed
+//! errors, not silent corruption): [`PersistentHeap::alloc_blocks_for`]
+//! writes a checksummed marker (slot, seq, addr, blocks) durably
+//! *before* bumping the cursor, so a re-executed call with the same
+//! `(slot, seq)` returns the same address instead of leaking —
+//! detectable allocation. A torn cursor bump (marker durable, bump
+//! lost) is completed by [`PersistentHeap::open`], which replays slot
+//! markers exactly like the redo log.
 
 use std::error::Error;
 use std::fmt;
 
 use triad_core::{SecureMemory, SecureMemoryError};
+use triad_crypto::SipHash24;
 use triad_sim::{PhysAddr, BLOCK_BYTES};
 
 /// Errors of the persistent heap.
@@ -41,6 +62,21 @@ pub enum HeapError {
     OutOfSpace,
     /// A transaction exceeded the redo-log capacity.
     LogFull,
+    /// `register_alloc_slots` was called on a heap that already has
+    /// slots registered (registration is once per heap lifetime).
+    SlotsAlreadyRegistered {
+        /// How many slots are registered.
+        slots: u64,
+    },
+    /// `alloc_blocks_for` was called before any slots were registered.
+    SlotsNotRegistered,
+    /// The slot index is outside the registered range.
+    NoSuchAllocSlot {
+        /// The rejected slot.
+        slot: u64,
+        /// The number of registered slots.
+        slots: u64,
+    },
 }
 
 impl fmt::Display for HeapError {
@@ -50,6 +86,21 @@ impl fmt::Display for HeapError {
             HeapError::NotFormatted => write!(f, "no formatted heap in the persistent region"),
             HeapError::OutOfSpace => write!(f, "persistent heap is out of space"),
             HeapError::LogFull => write!(f, "transaction exceeds redo-log capacity"),
+            HeapError::SlotsAlreadyRegistered { slots } => {
+                write!(f, "{slots} allocation slots are already registered")
+            }
+            HeapError::SlotsNotRegistered => {
+                write!(
+                    f,
+                    "no allocation slots registered; call register_alloc_slots"
+                )
+            }
+            HeapError::NoSuchAllocSlot { slot, slots } => {
+                write!(
+                    f,
+                    "allocation slot {slot} out of range ({slots} registered)"
+                )
+            }
         }
     }
 }
@@ -87,6 +138,24 @@ const HDR_CURSOR: usize = 8;
 const HDR_ROOT: usize = 16;
 const HDR_COMMIT: usize = 24;
 const HDR_LOG_LEN: usize = 32;
+const HDR_SLOT_BASE: usize = 40;
+const HDR_SLOTS: usize = 48;
+
+/// Slot-marker block layout (one 64 B block per registered slot).
+const MARK_SEQ: usize = 0;
+const MARK_ADDR: usize = 8;
+const MARK_BLOCKS: usize = 16;
+const MARK_CRC: usize = 24;
+
+/// Fixed SipHash-2-4 key for slot-marker checksums (not secret:
+/// torn-write detection only, same idiom as the KV WAL framing).
+fn marker_hash() -> SipHash24 {
+    SipHash24::new(*b"triad-recovalloc")
+}
+
+fn marker_checksum(slot: u64, seq: u64, addr: u64, blocks: u64) -> u64 {
+    marker_hash().hash_words(&[slot, seq, addr, blocks])
+}
 
 /// Little-endian u64 at `off` of a block buffer.
 fn read_u64(buf: &[u8; BLOCK_BYTES], off: usize) -> u64 {
@@ -176,11 +245,44 @@ impl PersistentHeap {
             }
             heap.write_header_u64(mem, HDR_COMMIT, 0)?;
         }
+        // Replay a torn slot allocation: a marker pointing exactly at
+        // the current cursor means `alloc_blocks_for` persisted the
+        // marker but crashed before the bump — complete it (idempotent,
+        // same discipline as the redo log above). At most one marker
+        // can match: the cursor has moved past every completed one.
+        let hdr = heap.read_header(mem)?;
+        let nslots = Self::header_u64(&hdr, HDR_SLOTS);
+        if nslots != 0 {
+            let slot_base = Self::header_u64(&hdr, HDR_SLOT_BASE);
+            let mut cursor = Self::header_u64(&hdr, HDR_CURSOR);
+            for slot in 0..nslots {
+                let marker = mem.read(PhysAddr(slot_base + slot * 64))?;
+                let (seq, addr, blocks) = (
+                    read_u64(&marker, MARK_SEQ),
+                    read_u64(&marker, MARK_ADDR),
+                    read_u64(&marker, MARK_BLOCKS),
+                );
+                if read_u64(&marker, MARK_CRC) == marker_checksum(slot, seq, addr, blocks)
+                    && addr == heap.data_base().0 + cursor * 64
+                {
+                    cursor += blocks;
+                    heap.write_header_u64(mem, HDR_CURSOR, cursor)?;
+                }
+            }
+        }
         Ok(heap)
     }
 
     /// Allocates `blocks` consecutive 64 B blocks, returning their base
     /// address. Allocation is durable before the call returns.
+    ///
+    /// **Single-allocator discipline**: the cursor is one shared word,
+    /// so this raw form is only sound when each call runs as one
+    /// atomic step of a single driver (or from a single thread), and
+    /// a caller that crashes mid-protocol leaks the blocks (see the
+    /// module docs). Concurrent logical threads that need to *detect*
+    /// whether a crashed allocation took effect must use
+    /// [`PersistentHeap::alloc_blocks_for`] instead.
     ///
     /// # Errors
     ///
@@ -199,6 +301,119 @@ impl PersistentHeap {
         }
         self.write_header_u64(mem, HDR_CURSOR, cursor + blocks)?;
         Ok(PhysAddr(self.data_base().0 + cursor * 64))
+    }
+
+    /// Registers `slots` per-thread allocation slots (one marker block
+    /// each), returning the marker area's base. Registration happens
+    /// once per heap lifetime — the slot count is the typed guard that
+    /// replaces silent cursor corruption for concurrent callers.
+    ///
+    /// A crash inside registration at worst leaks the marker blocks
+    /// (the commit point is the slot-count header write, last).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::SlotsAlreadyRegistered`] on re-registration;
+    /// [`HeapError::OutOfSpace`] when the marker area does not fit.
+    pub fn register_alloc_slots(&self, mem: &mut SecureMemory, slots: u64) -> Result<PhysAddr> {
+        let hdr = self.read_header(mem)?;
+        let existing = Self::header_u64(&hdr, HDR_SLOTS);
+        if existing != 0 {
+            return Err(HeapError::SlotsAlreadyRegistered { slots: existing });
+        }
+        let base = self.alloc_blocks(mem, slots)?;
+        self.write_header_u64(mem, HDR_SLOT_BASE, base.0)?;
+        // Commit point: the count makes the registration visible.
+        self.write_header_u64(mem, HDR_SLOTS, slots)?;
+        Ok(base)
+    }
+
+    /// The number of registered allocation slots (0 = none).
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn alloc_slots(&self, mem: &mut SecureMemory) -> Result<u64> {
+        Ok(Self::header_u64(&self.read_header(mem)?, HDR_SLOTS))
+    }
+
+    /// Detectable allocation for concurrent recovering callers:
+    /// allocates `blocks` like [`PersistentHeap::alloc_blocks`], but
+    /// records a checksummed `(slot, seq, addr, blocks)` marker
+    /// durably *before* the cursor moves. Re-executing the call with
+    /// the same `(slot, seq, blocks)` — the recovery replay of a
+    /// crashed thread — returns the **same** address instead of
+    /// allocating again, so an allocation is applied exactly once
+    /// across crash and re-execution.
+    ///
+    /// The caller contract is that `seq` is strictly increasing per
+    /// slot (the per-thread operation sequence number); a stale marker
+    /// is simply overwritten by the next fresh allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::SlotsNotRegistered`] /
+    /// [`HeapError::NoSuchAllocSlot`] for slot misuse,
+    /// [`HeapError::OutOfSpace`] as for `alloc_blocks`.
+    pub fn alloc_blocks_for(
+        &self,
+        mem: &mut SecureMemory,
+        blocks: u64,
+        slot: u64,
+        seq: u64,
+    ) -> Result<PhysAddr> {
+        let hdr = self.read_header(mem)?;
+        let nslots = Self::header_u64(&hdr, HDR_SLOTS);
+        if nslots == 0 {
+            return Err(HeapError::SlotsNotRegistered);
+        }
+        if slot >= nslots {
+            return Err(HeapError::NoSuchAllocSlot {
+                slot,
+                slots: nslots,
+            });
+        }
+        let maddr = PhysAddr(Self::header_u64(&hdr, HDR_SLOT_BASE) + slot * 64);
+        let cursor = Self::header_u64(&hdr, HDR_CURSOR);
+        let marker = mem.read(maddr)?;
+        let (mseq, addr, mblocks) = (
+            read_u64(&marker, MARK_SEQ),
+            read_u64(&marker, MARK_ADDR),
+            read_u64(&marker, MARK_BLOCKS),
+        );
+        if read_u64(&marker, MARK_CRC) == marker_checksum(slot, mseq, addr, mblocks)
+            && mseq == seq
+            && mblocks == blocks
+        {
+            // Replay of an allocation that already became durable.
+            // (A torn cursor bump was completed by `open`; completing
+            // it here too keeps the call self-contained.)
+            if addr == self.data_base().0 + cursor * 64 {
+                self.write_header_u64(mem, HDR_CURSOR, cursor + blocks)?;
+            }
+            return Ok(PhysAddr(addr));
+        }
+        let end_bytes = cursor
+            .checked_add(blocks)
+            .and_then(|b| b.checked_mul(64))
+            .ok_or(HeapError::OutOfSpace)?;
+        if end_bytes > self.capacity_bytes() {
+            return Err(HeapError::OutOfSpace);
+        }
+        let fresh = self.data_base().0 + cursor * 64;
+        // 1. Marker first: durable intent, so a re-execution after a
+        //    crash anywhere past this point adopts the same address.
+        let mut m = [0u8; BLOCK_BYTES];
+        m[MARK_SEQ..MARK_SEQ + 8].copy_from_slice(&seq.to_le_bytes());
+        m[MARK_ADDR..MARK_ADDR + 8].copy_from_slice(&fresh.to_le_bytes());
+        m[MARK_BLOCKS..MARK_BLOCKS + 8].copy_from_slice(&blocks.to_le_bytes());
+        m[MARK_CRC..MARK_CRC + 8]
+            .copy_from_slice(&marker_checksum(slot, seq, fresh, blocks).to_le_bytes());
+        mem.write(maddr, &m)?;
+        mem.persist(maddr)?;
+        // 2. Cursor bump (torn bumps are replayed from the marker).
+        self.write_header_u64(mem, HDR_CURSOR, cursor + blocks)?;
+        Ok(PhysAddr(fresh))
     }
 
     /// Reads the root-object pointer (0 = unset).
@@ -462,6 +677,105 @@ mod tests {
         assert_eq!(m.read(a).unwrap(), [0; 64], "leaked block reads as zeros");
     }
 
+    // ----- allocation slots (issue-9 satellite: concurrent callers) -----
+
+    #[test]
+    fn slot_registration_is_once_and_typed() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        assert_eq!(h.alloc_slots(&mut m).unwrap(), 0);
+        assert_eq!(
+            h.alloc_blocks_for(&mut m, 1, 0, 1).unwrap_err(),
+            HeapError::SlotsNotRegistered
+        );
+        h.register_alloc_slots(&mut m, 3).unwrap();
+        assert_eq!(h.alloc_slots(&mut m).unwrap(), 3);
+        assert_eq!(
+            h.register_alloc_slots(&mut m, 2).unwrap_err(),
+            HeapError::SlotsAlreadyRegistered { slots: 3 }
+        );
+        assert_eq!(
+            h.alloc_blocks_for(&mut m, 1, 3, 1).unwrap_err(),
+            HeapError::NoSuchAllocSlot { slot: 3, slots: 3 }
+        );
+    }
+
+    #[test]
+    fn slot_alloc_replay_returns_the_same_address_exactly_once() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        h.register_alloc_slots(&mut m, 2).unwrap();
+        let a = h.alloc_blocks_for(&mut m, 2, 0, 1).unwrap();
+        // Replay with the same (slot, seq, blocks): same address, and
+        // the cursor must not advance again.
+        let a2 = h.alloc_blocks_for(&mut m, 2, 0, 1).unwrap();
+        assert_eq!(a, a2);
+        let b = h.alloc_blocks_for(&mut m, 1, 0, 2).unwrap();
+        assert_eq!(b.0, a.0 + 128, "replay must not consume space");
+        // Another slot's allocations are independent.
+        let c = h.alloc_blocks_for(&mut m, 1, 1, 1).unwrap();
+        assert_eq!(c.0, b.0 + 64);
+    }
+
+    #[test]
+    fn crash_before_the_marker_persist_reissues_cleanly() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        h.register_alloc_slots(&mut m, 1).unwrap();
+        let a = h.alloc_blocks_for(&mut m, 1, 0, 1).unwrap();
+        // Boundary 0 = the marker persist of the next call: the intent
+        // never becomes durable, so the re-executed call is a fresh
+        // allocation at the same (unmoved) cursor.
+        m.inject_crash_after_persists(0);
+        assert_eq!(
+            h.alloc_blocks_for(&mut m, 1, 0, 2).unwrap_err(),
+            HeapError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        let b = h.alloc_blocks_for(&mut m, 1, 0, 2).unwrap();
+        assert_eq!(b.0, a.0 + 64, "no space may leak");
+    }
+
+    #[test]
+    fn torn_cursor_bump_is_completed_and_the_replay_adopts_the_marker() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        h.register_alloc_slots(&mut m, 1).unwrap();
+        let a = h.alloc_blocks_for(&mut m, 1, 0, 1).unwrap();
+        // Boundary 0 = marker persist (allowed through), boundary 1 =
+        // the cursor bump: marker durable, bump torn away.
+        m.inject_crash_after_persists(1);
+        assert_eq!(
+            h.alloc_blocks_for(&mut m, 2, 0, 2).unwrap_err(),
+            HeapError::Memory(SecureMemoryError::NeedsRecovery)
+        );
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        // The replay with the same (slot, seq) adopts the marker: the
+        // same address, applied exactly once.
+        let b = h.alloc_blocks_for(&mut m, 2, 0, 2).unwrap();
+        assert_eq!(b.0, a.0 + 64, "marker address must be adopted");
+        // open() completed the bump, so a fresh allocation does not
+        // overlap the adopted one.
+        let c = h.alloc_blocks_for(&mut m, 1, 0, 3).unwrap();
+        assert_eq!(c.0, b.0 + 128, "completed bump must not be lost");
+    }
+
+    #[test]
+    fn completed_slot_alloc_survives_a_crash_and_still_replays() {
+        let mut m = mem();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        h.register_alloc_slots(&mut m, 1).unwrap();
+        let a = h.alloc_blocks_for(&mut m, 1, 0, 7).unwrap();
+        m.crash();
+        m.recover().unwrap();
+        let h = PersistentHeap::open(&mut m).unwrap();
+        assert_eq!(h.alloc_blocks_for(&mut m, 1, 0, 7).unwrap(), a);
+        let b = h.alloc_blocks_for(&mut m, 1, 0, 8).unwrap();
+        assert_eq!(b.0, a.0 + 64);
+    }
+
     #[test]
     fn crash_mid_wpq_during_cursor_persist_keeps_the_cursor_atomic() {
         // A crash in the middle of the cursor's own atomic persist
@@ -510,6 +824,15 @@ mod error_surface {
             "transaction exceeds redo-log capacity"
         );
         assert!(HeapError::NotFormatted.to_string().contains("formatted"));
+        assert!(HeapError::SlotsAlreadyRegistered { slots: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(HeapError::SlotsNotRegistered
+            .to_string()
+            .contains("register_alloc_slots"));
+        let e = HeapError::NoSuchAllocSlot { slot: 9, slots: 2 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('2'));
+        assert!(e.source().is_none());
         let _ = inner;
     }
 

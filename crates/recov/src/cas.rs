@@ -1,0 +1,351 @@
+//! Detectable compare-and-swap over a checksummed, ownership-tagged
+//! 64 B site.
+//!
+//! A [`CasSite`] holds `[value][owner_slot][owner_seq][crc]`. Every
+//! successful commit rewrites the whole block, stamping the committing
+//! operation's identity `(owner_slot, owner_seq)` into the tag — and a
+//! commit validates the **full observed view** (value *and* tag), not
+//! just the value. Because per-thread sequence numbers never repeat,
+//! every successful CAS produces a globally unique site state: the
+//! classic ABA hazard (same value, different history) cannot make a
+//! stale expected-view match.
+//!
+//! Detectability rests on two durable facts a recovering thread can
+//! check ([`resolve_pending`]):
+//!
+//! 1. the site still carries its tag `(slot, seq)` — the CAS
+//!    succeeded and nobody has overwritten it yet; or
+//! 2. the shared help table records `help_max(slot) >= seq` — some
+//!    thread overwrote the tag, but (per protocol) only after durably
+//!    recording the observed owner's success
+//!    ([`crate::Mementos::record_help`]).
+//!
+//! If neither holds and the thread's pending record names `seq`, the
+//! CAS did not take effect and the operation re-executes. Helper
+//! swings that are not decisive for any operation (the MS-queue tail)
+//! commit with the [`NO_OWNER`] tag and need no helping.
+
+use triad_core::SecureMemory;
+use triad_sim::{PhysAddr, BLOCK_BYTES};
+
+use crate::memento::{put_u64, read_u64, Mementos};
+use crate::{RecovError, Result};
+
+/// Owner-slot tag of an untagged site (helper swings, initial state).
+pub const NO_OWNER: u64 = u64::MAX;
+
+/// Site block layout.
+const SITE_VALUE: usize = 0;
+const SITE_OWN_SLOT: usize = 8;
+const SITE_OWN_SEQ: usize = 16;
+const SITE_CRC: usize = 24;
+
+fn site_checksum(value: u64, owner_slot: u64, owner_seq: u64) -> u64 {
+    // Kind/slot separation as in the memento records (kind 4).
+    crate::memento::site_crc(value, owner_slot, owner_seq)
+}
+
+/// One observed state of a CAS site: the value plus the ownership tag
+/// of the operation that produced it. Used as the *expected* state of
+/// a commit — full-view validation is what defeats ABA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasView {
+    /// The stored value (structure pointer; 0 = null).
+    pub value: u64,
+    /// Owning thread slot, or [`NO_OWNER`].
+    pub owner_slot: u64,
+    /// Owning operation sequence number (0 when untagged).
+    pub owner_seq: u64,
+}
+
+impl CasView {
+    /// Whether this state was produced by a decisive, tagged CAS.
+    pub fn is_owned(&self) -> bool {
+        self.owner_slot != NO_OWNER
+    }
+}
+
+/// A checksummed, ownership-tagged CAS word occupying one 64 B block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasSite {
+    addr: PhysAddr,
+}
+
+impl CasSite {
+    /// Interprets the block at `addr` as a CAS site (no writes). A
+    /// fresh all-zero block is a valid site: value 0, untagged —
+    /// which is what lets freshly allocated node `next` blocks serve
+    /// as sites with no initializing persist.
+    pub fn at(addr: PhysAddr) -> Self {
+        CasSite { addr }
+    }
+
+    /// Durably initializes the site to `value`, untagged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn init(mem: &mut SecureMemory, addr: PhysAddr, value: u64) -> Result<Self> {
+        let site = CasSite { addr };
+        site.write_state(mem, value, NO_OWNER, 0)?;
+        Ok(site)
+    }
+
+    /// The site's block address.
+    pub fn addr(&self) -> PhysAddr {
+        self.addr
+    }
+
+    fn write_state(
+        &self,
+        mem: &mut SecureMemory,
+        value: u64,
+        owner_slot: u64,
+        owner_seq: u64,
+    ) -> Result<()> {
+        let mut buf = [0u8; BLOCK_BYTES];
+        put_u64(&mut buf, SITE_VALUE, value);
+        put_u64(&mut buf, SITE_OWN_SLOT, owner_slot);
+        put_u64(&mut buf, SITE_OWN_SEQ, owner_seq);
+        put_u64(
+            &mut buf,
+            SITE_CRC,
+            site_checksum(value, owner_slot, owner_seq),
+        );
+        mem.write(self.addr, &buf)?;
+        mem.persist(self.addr)?;
+        Ok(())
+    }
+
+    /// Reads the current view. An all-zero block reads as
+    /// `(0, untagged)`; any other checksum failure is corruption (site
+    /// writes are single-block atomic persists and cannot tear).
+    ///
+    /// # Errors
+    ///
+    /// [`RecovError::Corrupt`] on a non-zero block with a bad
+    /// checksum.
+    pub fn read(&self, mem: &mut SecureMemory) -> Result<CasView> {
+        let buf = mem.read(self.addr)?;
+        let (value, owner_slot, owner_seq) = (
+            read_u64(&buf, SITE_VALUE),
+            read_u64(&buf, SITE_OWN_SLOT),
+            read_u64(&buf, SITE_OWN_SEQ),
+        );
+        let crc = read_u64(&buf, SITE_CRC);
+        if crc == site_checksum(value, owner_slot, owner_seq) {
+            return Ok(CasView {
+                value,
+                owner_slot,
+                owner_seq,
+            });
+        }
+        if buf.iter().all(|&b| b == 0) {
+            return Ok(CasView {
+                value: 0,
+                owner_slot: NO_OWNER,
+                owner_seq: 0,
+            });
+        }
+        Err(RecovError::Corrupt {
+            what: "cas-site",
+            addr: self.addr.0,
+        })
+    }
+
+    /// Attempts the CAS: if the site still reads exactly `expected`
+    /// (value **and** tag), durably installs
+    /// `(new_value, owner_slot, owner_seq)` and returns `true`;
+    /// otherwise changes nothing and returns `false`.
+    ///
+    /// Callers overwriting a tagged view must [`crate::Mementos::record_help`]
+    /// the observed owner *before* committing; decisive commits tag
+    /// with their own `(slot, seq)`, helper swings with
+    /// ([`NO_OWNER`], 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors / site corruption.
+    pub fn commit(
+        &self,
+        mem: &mut SecureMemory,
+        expected: &CasView,
+        new_value: u64,
+        owner_slot: u64,
+        owner_seq: u64,
+    ) -> Result<bool> {
+        if self.read(mem)? != *expected {
+            return Ok(false);
+        }
+        self.write_state(mem, new_value, owner_slot, owner_seq)?;
+        Ok(true)
+    }
+}
+
+/// The outcome a recovering thread resolves for its pending operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The decisive CAS took effect; `payload` is the pending record's
+    /// payload (enough to re-derive the operation's result).
+    Applied {
+        /// The pending record's payload (node address).
+        payload: u64,
+    },
+    /// The decisive CAS did not take effect — re-execute.
+    NotApplied,
+}
+
+/// Resolves whether operation `seq` of thread `slot` applied its
+/// decisive CAS, from durable state alone. See the module docs for the
+/// two evidence paths (site tag, help table).
+///
+/// # Errors
+///
+/// Propagates secure-memory errors / site corruption.
+pub fn resolve_pending(
+    mem: &mut SecureMemory,
+    mementos: &Mementos,
+    slot: u64,
+    seq: u64,
+) -> Result<CasOutcome> {
+    let Some(pending) = mementos.read_pending(mem, slot)? else {
+        return Ok(CasOutcome::NotApplied);
+    };
+    if pending.seq != seq {
+        return Ok(CasOutcome::NotApplied);
+    }
+    let view = CasSite::at(PhysAddr(pending.site)).read(mem)?;
+    if view.owner_slot == slot && view.owner_seq == seq {
+        return Ok(CasOutcome::Applied {
+            payload: pending.payload,
+        });
+    }
+    if mementos.help_max(mem, slot)? >= seq {
+        return Ok(CasOutcome::Applied {
+            payload: pending.payload,
+        });
+    }
+    Ok(CasOutcome::NotApplied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_core::{PersistScheme, SecureMemoryBuilder};
+    use triad_kv::PersistentHeap;
+
+    fn setup() -> (SecureMemory, Mementos, PhysAddr) {
+        let mut m = SecureMemoryBuilder::new()
+            .scheme(PersistScheme::triad_nvm(2))
+            .build()
+            .unwrap();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let ms = Mementos::format(&mut m, &h, 2).unwrap();
+        let a = h.alloc_blocks(&mut m, 1).unwrap();
+        (m, ms, a)
+    }
+
+    #[test]
+    fn fresh_block_reads_as_null_untagged() {
+        let (mut m, _ms, a) = setup();
+        let v = CasSite::at(a).read(&mut m).unwrap();
+        assert_eq!(
+            v,
+            CasView {
+                value: 0,
+                owner_slot: NO_OWNER,
+                owner_seq: 0
+            }
+        );
+        assert!(!v.is_owned());
+    }
+
+    #[test]
+    fn commit_validates_the_full_view_not_just_the_value() {
+        let (mut m, _ms, a) = setup();
+        let site = CasSite::init(&mut m, a, 100).unwrap();
+        let v0 = site.read(&mut m).unwrap();
+        // Thread 0 op 1 installs 200.
+        assert!(site.commit(&mut m, &v0, 200, 0, 1).unwrap());
+        let v1 = site.read(&mut m).unwrap();
+        assert_eq!(
+            v1,
+            CasView {
+                value: 200,
+                owner_slot: 0,
+                owner_seq: 1
+            }
+        );
+        // Thread 1 swings it back to 100 (helper-style, after help).
+        assert!(site.commit(&mut m, &v1, 100, 1, 1).unwrap());
+        // ABA: the value is 100 again, but a commit expecting the
+        // ORIGINAL view (100, untagged) must fail — the tag differs.
+        assert!(!site.commit(&mut m, &v0, 300, 0, 2).unwrap());
+        // And the stale v1 view fails too.
+        assert!(!site.commit(&mut m, &v1, 300, 0, 2).unwrap());
+    }
+
+    #[test]
+    fn corrupt_site_is_a_typed_error() {
+        let (mut m, _ms, a) = setup();
+        CasSite::init(&mut m, a, 5).unwrap();
+        let mut buf = m.read(a).unwrap();
+        buf[SITE_VALUE] ^= 0xFF;
+        m.write(a, &buf).unwrap();
+        m.persist(a).unwrap();
+        assert_eq!(
+            CasSite::at(a).read(&mut m).unwrap_err(),
+            RecovError::Corrupt {
+                what: "cas-site",
+                addr: a.0
+            }
+        );
+    }
+
+    #[test]
+    fn resolve_applied_via_site_tag_then_via_help_table() {
+        let (mut m, ms, a) = setup();
+        let site = CasSite::init(&mut m, a, 0).unwrap();
+        // Thread 0, op 1: pending → commit → (crash before completing).
+        ms.pending_persist(&mut m, 0, 1, a, 0xDEAD).unwrap();
+        let v = site.read(&mut m).unwrap();
+        assert!(site.commit(&mut m, &v, 0xDEAD, 0, 1).unwrap());
+        assert_eq!(
+            resolve_pending(&mut m, &ms, 0, 1).unwrap(),
+            CasOutcome::Applied { payload: 0xDEAD },
+            "evidence path 1: the site still carries the tag"
+        );
+        // Thread 1 overwrites the tag — but helps first, per protocol.
+        let v = site.read(&mut m).unwrap();
+        ms.record_help(&mut m, v.owner_slot, v.owner_seq).unwrap();
+        assert!(site.commit(&mut m, &v, 0xBEEF, 1, 1).unwrap());
+        assert_eq!(
+            resolve_pending(&mut m, &ms, 0, 1).unwrap(),
+            CasOutcome::Applied { payload: 0xDEAD },
+            "evidence path 2: the help table outlives the tag"
+        );
+    }
+
+    #[test]
+    fn resolve_not_applied_when_cas_never_landed() {
+        let (mut m, ms, a) = setup();
+        CasSite::init(&mut m, a, 0).unwrap();
+        // No pending at all.
+        assert_eq!(
+            resolve_pending(&mut m, &ms, 0, 1).unwrap(),
+            CasOutcome::NotApplied
+        );
+        // Pending for an OLDER op only.
+        ms.pending_persist(&mut m, 0, 1, a, 7).unwrap();
+        assert_eq!(
+            resolve_pending(&mut m, &ms, 0, 2).unwrap(),
+            CasOutcome::NotApplied
+        );
+        // Pending for op 2 but the CAS never landed.
+        ms.pending_persist(&mut m, 0, 2, a, 8).unwrap();
+        assert_eq!(
+            resolve_pending(&mut m, &ms, 0, 2).unwrap(),
+            CasOutcome::NotApplied
+        );
+    }
+}

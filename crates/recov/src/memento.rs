@@ -1,0 +1,530 @@
+//! Per-thread persistent protocol records — the "mementos".
+//!
+//! Each logical thread owns four 64 B blocks in the persistent heap:
+//!
+//! * two **checkpoint** blocks (A/B, written alternately by sequence
+//!   number) holding the result of the thread's last *completed*
+//!   operation: `[seq][tag][value][crc]`. The A/B pair is the
+//!   torn-write-safe checksummed-record pattern from the KV WAL — a
+//!   torn overwrite can destroy at most the record being written,
+//!   never the previous one, so recovery always finds the latest
+//!   durable completion;
+//! * one **pending** block `[seq][site][payload][crc]` logging the CAS
+//!   the thread is about to attempt for operation `seq` — the record
+//!   a recovering thread resolves against the site's ownership tag;
+//! * one **help** block `[max_seq][crc]` in the shared help table: any
+//!   thread about to overwrite a tagged CAS site first records the
+//!   observed owner's sequence number here, so success evidence
+//!   survives the overwrite.
+//!
+//! All records carry a SipHash-2-4 framing checksum with a record-kind
+//! and slot domain separator: a torn or foreign record never validates.
+
+use triad_core::SecureMemory;
+use triad_crypto::SipHash24;
+use triad_kv::PersistentHeap;
+use triad_sim::{PhysAddr, BLOCK_BYTES};
+
+use crate::{RecovError, Result};
+
+/// Blocks owned by each thread: checkpoint A, checkpoint B, pending.
+const THREAD_BLOCKS: u64 = 3;
+
+/// Checkpoint record layout.
+const CKPT_SEQ: usize = 0;
+const CKPT_TAG: usize = 8;
+const CKPT_VALUE: usize = 16;
+const CKPT_CRC: usize = 24;
+
+/// Pending-CAS record layout.
+const PEND_SEQ: usize = 0;
+const PEND_SITE: usize = 8;
+const PEND_PAYLOAD: usize = 16;
+const PEND_CRC: usize = 24;
+
+/// Help-table record layout.
+const HELP_MAX: usize = 0;
+const HELP_CRC: usize = 8;
+
+/// Record-kind domain separators for the framing checksum.
+const K_CKPT: u64 = 1;
+const K_PEND: u64 = 2;
+const K_HELP: u64 = 3;
+const K_SITE: u64 = 4;
+
+/// Framing checksum of a CAS-site block (kind 4; sites are not
+/// slot-scoped, the tag itself carries the identity).
+pub(crate) fn site_crc(value: u64, owner_slot: u64, owner_seq: u64) -> u64 {
+    checksum(K_SITE, 0, &[value, owner_slot, owner_seq])
+}
+
+/// Fixed SipHash-2-4 key for memento framing (not secret: torn-write
+/// detection only, the same idiom as the KV WAL).
+fn framing_hash() -> SipHash24 {
+    SipHash24::new(*b"triad-recov fmt.")
+}
+
+fn checksum(kind: u64, slot: u64, words: &[u64]) -> u64 {
+    let mut all = Vec::with_capacity(words.len() + 2);
+    all.push(kind);
+    all.push(slot);
+    all.extend_from_slice(words);
+    framing_hash().hash_words(&all)
+}
+
+/// Little-endian u64 at `off` of a block buffer.
+pub(crate) fn read_u64(buf: &[u8; BLOCK_BYTES], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+pub(crate) fn put_u64(buf: &mut [u8; BLOCK_BYTES], off: usize, value: u64) {
+    buf[off..off + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+/// The result checkpoint of a completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointVal {
+    /// Operation sequence number (1-based: `seq` = number of completed
+    /// operations).
+    pub seq: u64,
+    /// Result tag (structure-defined, e.g. pushed / popped / empty).
+    pub tag: u64,
+    /// Result value (e.g. the popped element).
+    pub value: u64,
+}
+
+/// A pending-CAS record: "operation `seq` is attempting a CAS at
+/// `site`; if it succeeded, its decisive payload is `payload`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRec {
+    /// Operation sequence number the attempt belongs to.
+    pub seq: u64,
+    /// Address of the [`crate::CasSite`] attempted.
+    pub site: u64,
+    /// Structure-defined payload needed to re-derive the result (the
+    /// pushed/popped node address).
+    pub payload: u64,
+}
+
+/// The memento area: per-thread records plus the shared help table,
+/// allocated once in the persistent heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mementos {
+    base: PhysAddr,
+    threads: u64,
+}
+
+impl Mementos {
+    /// Allocates memento blocks for `threads` logical threads. Fresh
+    /// heap blocks read as zeros, which no record checksum validates,
+    /// so no initializing writes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`RecovError::BadSpec`] for zero threads; heap errors otherwise.
+    pub fn format(mem: &mut SecureMemory, heap: &PersistentHeap, threads: u64) -> Result<Self> {
+        if threads == 0 {
+            return Err(RecovError::BadSpec {
+                what: "mementos need at least one thread",
+            });
+        }
+        // threads * (3 own blocks + 1 help block).
+        let blocks = threads
+            .checked_mul(THREAD_BLOCKS + 1)
+            .ok_or(RecovError::BadSpec {
+                what: "thread count overflows the memento area",
+            })?;
+        let base = heap.alloc_blocks(mem, blocks)?;
+        Ok(Mementos { base, threads })
+    }
+
+    /// The number of thread slots.
+    pub fn threads(&self) -> u64 {
+        self.threads
+    }
+
+    fn ckpt_addr(&self, slot: u64, which: u64) -> PhysAddr {
+        PhysAddr(self.base.0 + (slot * THREAD_BLOCKS + which) * 64)
+    }
+
+    fn pending_addr(&self, slot: u64) -> PhysAddr {
+        PhysAddr(self.base.0 + (slot * THREAD_BLOCKS + 2) * 64)
+    }
+
+    fn help_addr(&self, slot: u64) -> PhysAddr {
+        PhysAddr(self.base.0 + (self.threads * THREAD_BLOCKS + slot) * 64)
+    }
+
+    fn read_ckpt_block(
+        &self,
+        mem: &mut SecureMemory,
+        slot: u64,
+        which: u64,
+    ) -> Result<Option<CheckpointVal>> {
+        let buf = mem.read(self.ckpt_addr(slot, which))?;
+        let (seq, tag, value) = (
+            read_u64(&buf, CKPT_SEQ),
+            read_u64(&buf, CKPT_TAG),
+            read_u64(&buf, CKPT_VALUE),
+        );
+        if seq != 0 && read_u64(&buf, CKPT_CRC) == checksum(K_CKPT, slot, &[seq, tag, value]) {
+            Ok(Some(CheckpointVal { seq, tag, value }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The latest durable checkpoint of `slot` (`None` before the
+    /// thread completes its first operation). A torn record — the
+    /// crash hit mid-overwrite — simply fails its checksum and the
+    /// *other* block still holds the previous completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn read_checkpoint(
+        &self,
+        mem: &mut SecureMemory,
+        slot: u64,
+    ) -> Result<Option<CheckpointVal>> {
+        let a = self.read_ckpt_block(mem, slot, 0)?;
+        let b = self.read_ckpt_block(mem, slot, 1)?;
+        Ok(match (a, b) {
+            (Some(x), Some(y)) => Some(if x.seq >= y.seq { x } else { y }),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        })
+    }
+
+    /// The latest durable pending-CAS record of `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn read_pending(&self, mem: &mut SecureMemory, slot: u64) -> Result<Option<PendingRec>> {
+        let buf = mem.read(self.pending_addr(slot))?;
+        let (seq, site, payload) = (
+            read_u64(&buf, PEND_SEQ),
+            read_u64(&buf, PEND_SITE),
+            read_u64(&buf, PEND_PAYLOAD),
+        );
+        if seq != 0 && read_u64(&buf, PEND_CRC) == checksum(K_PEND, slot, &[seq, site, payload]) {
+            Ok(Some(PendingRec { seq, site, payload }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The highest operation sequence number of `slot` that some
+    /// thread has durably recorded as *known successful* (0 = none).
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn help_max(&self, mem: &mut SecureMemory, slot: u64) -> Result<u64> {
+        let buf = mem.read(self.help_addr(slot))?;
+        let max = read_u64(&buf, HELP_MAX);
+        if max != 0 && read_u64(&buf, HELP_CRC) == checksum(K_HELP, slot, &[max]) {
+            Ok(max)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Durably records that operation `seq` of `owner_slot` succeeded.
+    /// Called by any thread *before* it overwrites a CAS-site tag
+    /// `(owner_slot, seq)`, so the owner's success evidence outlives
+    /// the tag. Monotone: an older `seq` never regresses the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn record_help(&self, mem: &mut SecureMemory, owner_slot: u64, seq: u64) -> Result<()> {
+        if self.help_max(mem, owner_slot)? >= seq {
+            return Ok(());
+        }
+        let addr = self.help_addr(owner_slot);
+        let mut buf = [0u8; BLOCK_BYTES];
+        put_u64(&mut buf, HELP_MAX, seq);
+        put_u64(&mut buf, HELP_CRC, checksum(K_HELP, owner_slot, &[seq]));
+        mem.write(addr, &buf)?;
+        mem.persist(addr)?;
+        Ok(())
+    }
+
+    /// Durably logs the pending CAS of operation `seq` at `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn pending_persist(
+        &self,
+        mem: &mut SecureMemory,
+        slot: u64,
+        seq: u64,
+        site: PhysAddr,
+        payload: u64,
+    ) -> Result<()> {
+        let addr = self.pending_addr(slot);
+        let mut buf = [0u8; BLOCK_BYTES];
+        put_u64(&mut buf, PEND_SEQ, seq);
+        put_u64(&mut buf, PEND_SITE, site.0);
+        put_u64(&mut buf, PEND_PAYLOAD, payload);
+        put_u64(
+            &mut buf,
+            PEND_CRC,
+            checksum(K_PEND, slot, &[seq, site.0, payload]),
+        );
+        mem.write(addr, &buf)?;
+        mem.persist(addr)?;
+        Ok(())
+    }
+}
+
+/// The volatile per-thread handle over a memento slot: tracks how many
+/// operations the thread has completed and persists completions.
+///
+/// Reconstructible from NVM alone ([`ThreadCtx::recover`]) — exactly
+/// what a crashed thread does before replaying its in-flight
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    mementos: Mementos,
+    slot: u64,
+    op_seq: u64,
+}
+
+impl ThreadCtx {
+    /// A fresh context for `slot` (no operations completed).
+    pub fn new(mementos: Mementos, slot: u64) -> Self {
+        ThreadCtx {
+            mementos,
+            slot,
+            op_seq: 0,
+        }
+    }
+
+    /// Rebuilds the context from NVM after a thread crash: the
+    /// completed-operation count is the latest durable checkpoint's
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn recover(mem: &mut SecureMemory, mementos: Mementos, slot: u64) -> Result<Self> {
+        let op_seq = mementos.read_checkpoint(mem, slot)?.map_or(0, |c| c.seq);
+        Ok(ThreadCtx {
+            mementos,
+            slot,
+            op_seq,
+        })
+    }
+
+    /// This thread's slot index.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The memento area this context lives in.
+    pub fn mementos(&self) -> Mementos {
+        self.mementos
+    }
+
+    /// How many operations this thread has completed.
+    pub fn completed(&self) -> u64 {
+        self.op_seq
+    }
+
+    /// The sequence number the *next* operation will carry (1-based).
+    pub fn next_seq(&self) -> u64 {
+        self.op_seq + 1
+    }
+
+    /// Durably logs the pending CAS of the current operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn pending_persist(
+        &self,
+        mem: &mut SecureMemory,
+        site: PhysAddr,
+        payload: u64,
+    ) -> Result<()> {
+        self.mementos
+            .pending_persist(mem, self.slot, self.next_seq(), site, payload)
+    }
+
+    /// Completes the current operation: durably checkpoints its result
+    /// and only then bumps the volatile sequence number. The persist
+    /// MUST come first — a crash between the two replays the
+    /// completion idempotently, while the reverse order would lose the
+    /// operation's result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secure-memory errors.
+    pub fn complete_op(&mut self, mem: &mut SecureMemory, tag: u64, value: u64) -> Result<()> {
+        let seq = self.op_seq + 1;
+        self.checkpoint_persist(mem, seq, tag, value)?;
+        self.seqno_bump();
+        Ok(())
+    }
+
+    /// Durably writes the result checkpoint for operation `seq` into
+    /// the A/B block selected by parity (never the block holding the
+    /// previous completion — torn-write safety).
+    fn checkpoint_persist(
+        &mut self,
+        mem: &mut SecureMemory,
+        seq: u64,
+        tag: u64,
+        value: u64,
+    ) -> Result<()> {
+        let addr = self.mementos.ckpt_addr(self.slot, seq % 2);
+        let mut buf = [0u8; BLOCK_BYTES];
+        put_u64(&mut buf, CKPT_SEQ, seq);
+        put_u64(&mut buf, CKPT_TAG, tag);
+        put_u64(&mut buf, CKPT_VALUE, value);
+        put_u64(
+            &mut buf,
+            CKPT_CRC,
+            checksum(K_CKPT, self.slot, &[seq, tag, value]),
+        );
+        mem.write(addr, &buf)?;
+        mem.persist(addr)?;
+        Ok(())
+    }
+
+    /// Advances the volatile completed-operation counter.
+    fn seqno_bump(&mut self) {
+        self.op_seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_core::{PersistScheme, SecureMemoryBuilder};
+
+    fn setup() -> (SecureMemory, PersistentHeap, Mementos) {
+        let mut m = SecureMemoryBuilder::new()
+            .scheme(PersistScheme::triad_nvm(2))
+            .build()
+            .unwrap();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        let ms = Mementos::format(&mut m, &h, 3).unwrap();
+        (m, h, ms)
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let mut m = SecureMemoryBuilder::new().build().unwrap();
+        let h = PersistentHeap::format(&mut m).unwrap();
+        assert!(matches!(
+            Mementos::format(&mut m, &h, 0).unwrap_err(),
+            RecovError::BadSpec { .. }
+        ));
+    }
+
+    #[test]
+    fn fresh_records_read_as_absent() {
+        let (mut m, _h, ms) = setup();
+        for slot in 0..3 {
+            assert_eq!(ms.read_checkpoint(&mut m, slot).unwrap(), None);
+            assert_eq!(ms.read_pending(&mut m, slot).unwrap(), None);
+            assert_eq!(ms.help_max(&mut m, slot).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn complete_op_round_trips_through_recovery() {
+        let (mut m, _h, ms) = setup();
+        let mut ctx = ThreadCtx::new(ms, 1);
+        assert_eq!(ctx.next_seq(), 1);
+        ctx.complete_op(&mut m, 7, 0xAA).unwrap();
+        ctx.complete_op(&mut m, 8, 0xBB).unwrap();
+        assert_eq!(ctx.completed(), 2);
+        // Thread crash: volatile context gone, rebuild from NVM.
+        let r = ThreadCtx::recover(&mut m, ms, 1).unwrap();
+        assert_eq!(r.completed(), 2);
+        assert_eq!(
+            ms.read_checkpoint(&mut m, 1).unwrap(),
+            Some(CheckpointVal {
+                seq: 2,
+                tag: 8,
+                value: 0xBB
+            })
+        );
+        // Other slots untouched.
+        assert_eq!(ms.read_checkpoint(&mut m, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn ab_checkpoints_tolerate_a_torn_overwrite() {
+        let (mut m, _h, ms) = setup();
+        let mut ctx = ThreadCtx::new(ms, 0);
+        ctx.complete_op(&mut m, 1, 10).unwrap(); // seq 1 → block B (1 % 2)
+        ctx.complete_op(&mut m, 2, 20).unwrap(); // seq 2 → block A
+                                                 // Simulate a torn overwrite of the seq-3 record (block B):
+                                                 // garbage that validates nowhere.
+        let b = ms.ckpt_addr(0, 1);
+        m.write(b, &[0x5Au8; 64]).unwrap();
+        m.persist(b).unwrap();
+        // The previous completion (seq 2, in block A) must survive.
+        let r = ThreadCtx::recover(&mut m, ms, 0).unwrap();
+        assert_eq!(r.completed(), 2);
+        assert_eq!(
+            ms.read_checkpoint(&mut m, 0).unwrap(),
+            Some(CheckpointVal {
+                seq: 2,
+                tag: 2,
+                value: 20
+            })
+        );
+    }
+
+    #[test]
+    fn pending_round_trip_and_per_slot_isolation() {
+        let (mut m, _h, ms) = setup();
+        let ctx = ThreadCtx::new(ms, 2);
+        ctx.pending_persist(&mut m, PhysAddr(0x1000), 42).unwrap();
+        assert_eq!(
+            ms.read_pending(&mut m, 2).unwrap(),
+            Some(PendingRec {
+                seq: 1,
+                site: 0x1000,
+                payload: 42
+            })
+        );
+        assert_eq!(ms.read_pending(&mut m, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn help_is_monotone_and_checksummed() {
+        let (mut m, _h, ms) = setup();
+        ms.record_help(&mut m, 1, 5).unwrap();
+        assert_eq!(ms.help_max(&mut m, 1).unwrap(), 5);
+        ms.record_help(&mut m, 1, 3).unwrap(); // older — must not regress
+        assert_eq!(ms.help_max(&mut m, 1).unwrap(), 5);
+        ms.record_help(&mut m, 1, 9).unwrap();
+        assert_eq!(ms.help_max(&mut m, 1).unwrap(), 9);
+        assert_eq!(ms.help_max(&mut m, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn foreign_slot_records_never_validate() {
+        // A record checksummed for slot 0 must not validate when read
+        // as slot 1's record (kind/slot domain separation).
+        let (mut m, _h, ms) = setup();
+        let mut ctx = ThreadCtx::new(ms, 0);
+        ctx.complete_op(&mut m, 1, 1).unwrap();
+        let from = m.read(ms.ckpt_addr(0, 1)).unwrap();
+        m.write(ms.ckpt_addr(1, 1), &from).unwrap();
+        m.persist(ms.ckpt_addr(1, 1)).unwrap();
+        assert_eq!(ms.read_checkpoint(&mut m, 1).unwrap(), None);
+    }
+}

@@ -19,6 +19,9 @@
 //!   splitting (no `rand` dependency anywhere).
 //! * [`prop`] — a minimal seeded property-testing harness (replaces
 //!   `proptest`; see DESIGN.md on the zero-dependency policy).
+//! * [`sched`] — the deterministic multi-thread interleaving scheduler
+//!   with per-thread crash injection that drives the `triad-recov`
+//!   concurrent-recovery suite.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ pub mod config;
 pub mod events;
 pub mod prop;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -46,6 +50,7 @@ pub mod trace_file;
 pub use addr::{BlockAddr, PhysAddr, BLOCK_BYTES, BLOCK_SHIFT};
 pub use config::SystemConfig;
 pub use events::{EventSink, SharedEventSink};
+pub use sched::{Interleaver, SchedError, SchedEvent};
 pub use stats::{Histogram, Scope, StatRegister, StatRegistry, StatSet};
 pub use time::{Duration, Time};
 pub use trace::{InterleavedTrace, MemOp, OpKind, TakeTrace, TraceSource};

@@ -23,6 +23,10 @@
 //!   store: seeded history generation (Zipf or uniform keys), an
 //!   in-DRAM oracle, and the crash-equivalence check that replays a
 //!   history through crash injection at every persist boundary.
+//! * [`recov`] — the mixed-operation driver for the `triad-recov`
+//!   detectably recoverable lock-free structures: deterministic
+//!   per-thread scripts through the seeded interleaving harness, with
+//!   the concurrent crash-equivalence oracle checked on every run.
 //! * [`service`] — the sharded serving front-end over `triad-kv`:
 //!   keyed-hash routing across independent shard engines on worker
 //!   threads, group commit (one commit marker per flushed batch), and
@@ -34,6 +38,7 @@ pub use triad_kv::heap;
 
 pub mod kv;
 pub mod mixes;
+pub mod recov;
 pub mod service;
 pub mod spec;
 pub mod structures;
@@ -43,6 +48,7 @@ pub mod zipf;
 pub use heap::{HeapError, PersistentHeap};
 pub use kv::{crash_equivalence_check, generate_history, KvFleet, KvMix, KvOp, KvSpec};
 pub use mixes::{all_figure_workloads, build_workload, WorkloadEnv};
+pub use recov::{generate_recov_scripts, run_recov_mix, RecovMixResult, RecovMixSpec};
 pub use service::{
     generate_requests, service_crash_equivalence_check, AdmissionPolicy, KvService, Request,
     Response, ServiceSpec,

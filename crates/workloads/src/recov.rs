@@ -1,0 +1,146 @@
+//! Mixed-operation driver for the `triad-recov` lock-free structures.
+//!
+//! This is the benchmark-facing counterpart of the [`kv`](crate::kv)
+//! driver: it generates deterministic per-thread operation scripts,
+//! runs them through the seeded interleaving harness in
+//! [`triad_recov::harness`], and checks the commit-log
+//! crash-equivalence oracle on every run. The report binary uses it
+//! for the `stack-mixed-*` / `queue-mixed-*` rows.
+
+use triad_core::PersistScheme;
+use triad_recov::{crash_equivalence_concurrent, OpSpec, RunSpec};
+use triad_sim::rng::SplitMix64;
+
+pub use triad_recov::{RunOutcome, StructureKind};
+
+/// Stream selector for script generation, so recov scripts never
+/// collide with other consumers of the same seed.
+const SCRIPT_STREAM: u64 = 0x5EC0_4D17;
+
+/// Specification for one mixed recov run.
+#[derive(Debug, Clone)]
+pub struct RecovMixSpec {
+    /// Which structure to drive.
+    pub kind: StructureKind,
+    /// Number of concurrent threads (each gets its own script).
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Persistence scheme for the backing secure memory.
+    pub scheme: PersistScheme,
+    /// Seed for both script generation and the interleaver.
+    pub seed: u64,
+    /// Optional per-thread crash injection `(thread, at_step)`.
+    pub thread_crash: Option<(usize, u64)>,
+}
+
+/// Result of a mixed recov run that passed the oracle.
+#[derive(Debug, Clone)]
+pub struct RecovMixResult {
+    /// Full harness outcome (commit log, latencies, counters).
+    pub outcome: RunOutcome,
+    /// Completed operations per second of simulated time.
+    pub ops_per_sec: f64,
+    /// Atomic persists issued per completed operation.
+    pub persists_per_op: f64,
+}
+
+/// Generate deterministic per-thread scripts: roughly two inserts for
+/// every remove, with values unique across the whole run.
+pub fn generate_recov_scripts(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> Vec<Vec<OpSpec>> {
+    (0..threads)
+        .map(|t| {
+            let mut rng = SplitMix64::stream(seed ^ SCRIPT_STREAM, t as u64);
+            (0..ops_per_thread)
+                .map(|i| {
+                    if rng.below(3) == 2 {
+                        OpSpec::Remove
+                    } else {
+                        // Bit 60 keeps every value nonzero and disjoint
+                        // from node addresses that may appear in logs.
+                        OpSpec::Insert(((t as u64) << 32) | (i as u64) | (1 << 60))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run one mixed workload through the harness and the oracle.
+///
+/// Returns `Err` with a human-readable message if the harness hits a
+/// typed error or the commit-log oracle rejects the run.
+pub fn run_recov_mix(spec: &RecovMixSpec) -> Result<RecovMixResult, String> {
+    let run_spec = RunSpec {
+        kind: spec.kind,
+        scheme: spec.scheme,
+        seed: spec.seed,
+        scripts: generate_recov_scripts(spec.threads, spec.ops_per_thread, spec.seed),
+        thread_crash: spec.thread_crash,
+        engine_crash_after_persists: None,
+    };
+    let outcome = crash_equivalence_concurrent(&run_spec)?;
+    let total_ops = outcome.op_latency_ns.len() as f64;
+    let ops_per_sec = total_ops / (outcome.sim_ns.max(1) as f64 * 1e-9);
+    let persists_per_op = if total_ops > 0.0 {
+        outcome.persists as f64 / total_ops
+    } else {
+        0.0
+    };
+    Ok(RecovMixResult {
+        outcome,
+        ops_per_sec,
+        persists_per_op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: StructureKind, threads: usize) -> RecovMixSpec {
+        RecovMixSpec {
+            kind,
+            threads,
+            ops_per_thread: 12,
+            scheme: PersistScheme::triad_nvm(2),
+            seed: 0xFEED_BEEF,
+            thread_crash: None,
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_mixed() {
+        let a = generate_recov_scripts(3, 32, 7);
+        let b = generate_recov_scripts(3, 32, 7);
+        assert_eq!(a, b);
+        let c = generate_recov_scripts(3, 32, 8);
+        assert_ne!(a, c);
+        let flat: Vec<_> = a.into_iter().flatten().collect();
+        assert!(flat.iter().any(|o| matches!(o, OpSpec::Insert(_))));
+        assert!(flat.iter().any(|o| matches!(o, OpSpec::Remove)));
+    }
+
+    #[test]
+    fn mixed_runs_pass_the_oracle_for_both_structures() {
+        for kind in [StructureKind::Stack, StructureKind::Queue] {
+            let res = run_recov_mix(&spec(kind, 3)).expect("oracle");
+            let total: usize = res.outcome.results.iter().map(|r| r.len()).sum();
+            assert_eq!(res.outcome.op_latency_ns.len(), total);
+            assert!(res.persists_per_op > 0.0);
+            assert!(res.ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn crash_injected_runs_pass_and_count_the_crash() {
+        let mut s = spec(StructureKind::Queue, 2);
+        s.thread_crash = Some((1, 9));
+        let res = run_recov_mix(&s).expect("oracle under crash");
+        assert_eq!(res.outcome.thread_crashes, 1);
+    }
+}

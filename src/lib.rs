@@ -16,6 +16,10 @@
 //!   crash injection and recovery (the paper's contribution).
 //! * [`kv`] — a crash-consistent transactional key-value store built
 //!   on the secure memory (redo WAL + persistent heap).
+//! * [`recov`] — detectably recoverable lock-free structures
+//!   (checkpoint + detectable CAS, Treiber stack, MS queue) with a
+//!   deterministic interleaving harness and per-thread crash
+//!   injection — see `docs/recoverability.md`.
 //! * [`workloads`] — SPEC-like / PMDK-like / DAX workload generators
 //!   and the KV crash-equivalence driver.
 //!
@@ -52,5 +56,6 @@ pub use triad_crypto as crypto;
 pub use triad_kv as kv;
 pub use triad_mem as mem;
 pub use triad_meta as meta;
+pub use triad_recov as recov;
 pub use triad_sim as sim;
 pub use triad_workloads as workloads;
