@@ -1,0 +1,123 @@
+//! `durability-contract`: the static arm of the tiered durability
+//! contract (`docs/durability-contract.md`, invariant D8). The crash
+//! sweeps prove each tier's loss bound dynamically; this rule pins the
+//! two structural properties the bounds rest on, using the inferred
+//! (interprocedural) effect sets:
+//!
+//! 1. **Volatile purity** — an InMemory-tier admission path must not
+//!    persist. Any fn in `crates/{kv,workloads}` whose name marks it
+//!    as part of the volatile tier (`*volatile*`) and whose inferred
+//!    effects append to the WAL, emit a commit marker, apply writes,
+//!    or persist data/metadata is a finding: a persist on that path
+//!    silently promotes unacknowledged-durability mutations and
+//!    invalidates the tier's loss accounting (and the barrier-floor
+//!    recovery tests' crash windows).
+//!
+//! 2. **Marker discipline** — a commit marker must never outrun its
+//!    payload. Any public `&mut self` mutation path of the serving
+//!    stack (`KvStore` / `KvService` / `ShardLane`) whose effects emit
+//!    a commit marker without appending to the WAL is a finding:
+//!    recovery would find a marker for a transaction it cannot replay,
+//!    so the commit frontier (which the loss ledger resolves in-flight
+//!    groups against) stops being a witness of durability.
+//!
+//! The ordering *within* a mutation path (append → marker → apply) is
+//! `persist-order`'s job; this rule owns the tier-shaped questions of
+//! which paths may persist at all and whether a marker is backed by a
+//! replayable payload.
+
+use crate::effects::{
+    EffectSet, APPENDS_LOG, APPLIES_WRITES, EMITS_COMMIT_MARKER, PERSISTS_DATA, PERSISTS_METADATA,
+};
+use crate::lint::{Finding, Severity, WorkspaceRule};
+use crate::symbols::crate_of;
+use crate::Workspace;
+
+/// See module docs.
+pub struct DurabilityContract;
+
+/// The crates whose serving stack the rule audits.
+const AUDITED_CRATES: &[&str] = &["kv", "workloads"];
+
+/// The types whose public mutation surface the marker-discipline
+/// section covers.
+const AUDITED_TYPES: &[&str] = &["KvStore", "KvService", "ShardLane"];
+
+/// Effects that make a volatile-tier path a lie.
+const PERSIST_EFFECTS: EffectSet =
+    APPENDS_LOG | EMITS_COMMIT_MARKER | APPLIES_WRITES | PERSISTS_DATA | PERSISTS_METADATA;
+
+impl WorkspaceRule for DurabilityContract {
+    fn id(&self) -> &'static str {
+        "durability-contract"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "volatile-tier admission paths must not persist, and serving-stack \
+         mutation paths must not emit a commit marker without appending the \
+         payload to the write-ahead log (effects inferred through the call \
+         graph; see docs/durability-contract.md, invariant D8)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (i, f) in ws.symbols.fns.iter().enumerate() {
+            let file = &ws.files[f.file];
+            if !matches!(crate_of(&file.path), Some(c) if AUDITED_CRATES.contains(&c)) {
+                continue;
+            }
+            if file.is_test_line(f.span.line) {
+                continue;
+            }
+            let effects = ws.effects.effects[i];
+
+            // Volatile purity: the name claims the volatile tier, the
+            // effects say otherwise.
+            if f.name.contains("volatile") && effects & PERSIST_EFFECTS != 0 {
+                out.push(Finding {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    path: file.path.to_string(),
+                    line: f.span.line,
+                    col: f.span.col,
+                    message: format!(
+                        "`{}` claims the volatile tier but its inferred effects \
+                         persist (log/marker/apply/data/metadata); InMemory-tier \
+                         admission must stay free of persist effects so the \
+                         tier's loss accounting and barrier floor stay honest",
+                        f.name
+                    ),
+                });
+                continue;
+            }
+
+            // Marker discipline: a public mutation path whose marker
+            // has no appended payload behind it.
+            if f.is_pub
+                && f.mut_self
+                && !f.trait_impl
+                && matches!(f.owner.as_deref(), Some(t) if AUDITED_TYPES.contains(&t))
+                && effects & EMITS_COMMIT_MARKER != 0
+                && effects & APPENDS_LOG == 0
+            {
+                out.push(Finding {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    path: file.path.to_string(),
+                    line: f.span.line,
+                    col: f.span.col,
+                    message: format!(
+                        "`{}` emits a commit marker without appending the payload \
+                         to the write-ahead log; recovery would find a marker for \
+                         a transaction it cannot replay, so the commit frontier \
+                         stops witnessing durability",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The repo-specific rules. Each module is one rule; [`all`] is the
 //! registry the CLI and the tests run.
 
+mod durability_contract;
 mod hash_order;
 mod panic_policy;
 mod persist_order;
@@ -9,6 +10,7 @@ mod stats_registration;
 mod suppression_rationale;
 mod wall_clock;
 
+pub use durability_contract::DurabilityContract;
 pub use hash_order::HashOrder;
 pub use panic_policy::PanicPolicy;
 pub use persist_order::PersistOrder;
@@ -38,6 +40,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
 pub fn workspace_all() -> Vec<Box<dyn WorkspaceRule>> {
     vec![
         Box::new(PersistOrder),
+        Box::new(DurabilityContract),
         Box::new(SharedMutableStatic),
         Box::new(NondeterministicMerge),
         Box::new(RngForkDiscipline),

@@ -1,0 +1,50 @@
+impl ShardLane {
+    // BAD: a volatile-tier admission path that persists — the InMemory
+    // contract says staging must stay free of persist effects, or the
+    // tier's loss accounting and barrier floor stop being honest.
+    fn stage_volatile(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_append(mem, key)?;
+        Ok(())
+    }
+
+    // BAD: the persist arrives two calls deep — the effect inference
+    // must see through the helper.
+    fn admit_volatile(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.settle(mem, key)?;
+        Ok(())
+    }
+
+    fn settle(&mut self, mem: &mut Mem, key: u64) -> Result<(), Error> {
+        self.log_txn(mem, key)?;
+        self.apply_writes(mem)?;
+        Ok(())
+    }
+
+    // GOOD: a pure overlay insert.
+    fn park_volatile(&mut self, key: u64) {
+        self.overlay.insert(key, ());
+    }
+}
+
+impl KvService {
+    // BAD: acknowledges with a commit marker that has no appended
+    // payload behind it — recovery would find a marker for a
+    // transaction it cannot replay.
+    pub fn ack_eagerly(&mut self, mem: &mut Mem) -> Result<(), Error> {
+        self.log_commit(mem)?;
+        Ok(())
+    }
+
+    // GOOD: the marker rides the batched append (`log_txn` grants
+    // both effects), then the writes land.
+    pub fn flush_group(&mut self, mem: &mut Mem) -> Result<(), Error> {
+        self.log_txn(mem, 0)?;
+        self.apply_writes(mem)?;
+        Ok(())
+    }
+
+    // Not audited: read-only surface.
+    pub fn peek(&self, key: u64) -> Option<u64> {
+        self.cache.get(&key).copied()
+    }
+}

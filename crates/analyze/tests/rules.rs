@@ -505,3 +505,39 @@ fn stats_registration_prefetch_respects_suppression() {
     );
     assert!(f.is_empty(), "{f:?}");
 }
+
+#[test]
+fn durability_contract_fires_on_tier_violations() {
+    let hits = rule_hits(
+        "crates/workloads/src/service.rs",
+        "durability_contract_fires.rs",
+        "durability-contract",
+    );
+    // stage_volatile's direct append, admit_volatile's persist two
+    // calls deep, ack_eagerly's payload-less marker; settle,
+    // park_volatile, flush_group and peek stay clean.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert_eq!(hits[0].0, 5, "volatile path with a direct append");
+    assert_eq!(hits[1].0, 12, "volatile path persisting through a helper");
+    assert_eq!(hits[2].0, 33, "commit marker without an appended payload");
+}
+
+#[test]
+fn durability_contract_respects_suppression() {
+    let f = analyze_source(
+        "crates/workloads/src/service.rs",
+        &fixture("durability_contract_suppressed.rs"),
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn durability_contract_scope_is_the_serving_stack() {
+    // The same source outside crates/{kv,workloads} is silent: the
+    // volatile/marker vocabulary only means the durability tiers there.
+    let f = analyze_source(
+        "crates/bench/src/service_driver.rs",
+        &fixture("durability_contract_fires.rs"),
+    );
+    assert!(f.iter().all(|x| x.rule != "durability-contract"), "{f:?}");
+}

@@ -218,3 +218,43 @@ fn stripping_a_suppression_rationale_is_flagged() {
     // rationale finding must not resurrect what it silenced.
     assert!(findings_for(rel, &mutant, "panic-policy").is_empty());
 }
+
+#[test]
+fn service_mutant_persisting_on_the_volatile_path_is_flagged() {
+    // Make the real InMemory admission path "durable" by logging the
+    // overlay insert — the exact shortcut the durability contract's
+    // invariant D8 exists to forbid.
+    let rel = "crates/workloads/src/service.rs";
+    let service = read_crate_file(rel);
+    let rule = "durability-contract";
+    assert!(findings_for(rel, &service, rule).is_empty());
+
+    let anchor = "self.volatile.insert(key, value);";
+    assert!(service.contains(anchor), "stage_volatile anchor moved");
+    let mutant = service.replacen(
+        anchor,
+        &format!("self.store.log_txn(key);\n        {anchor}"),
+        1,
+    );
+    let hits = findings_for(rel, &mutant, rule);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].1.contains("volatile tier"), "{}", hits[0].1);
+}
+
+#[test]
+fn store_mutant_with_a_payload_less_marker_is_flagged() {
+    // Swap `put`'s batched append-plus-marker for a bare marker: the
+    // commit frontier would advance over a transaction recovery cannot
+    // replay.
+    let rel = "crates/kv/src/store.rs";
+    let store = read_crate_file(rel);
+    let rule = "durability-contract";
+    assert!(findings_for(rel, &store, rule).is_empty());
+
+    let anchor = "self.log_txn(mem, seq, &writes)";
+    assert!(store.contains(anchor), "put's txn anchor moved");
+    let mutant = store.replacen(anchor, "self.log_commit(mem, seq, &writes)", 1);
+    let hits = findings_for(rel, &mutant, rule);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].1.contains("commit marker"), "{}", hits[0].1);
+}

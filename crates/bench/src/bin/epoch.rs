@@ -38,7 +38,7 @@ fn main() {
                 t = mem.end_epoch(t).expect("epoch");
             }
         }
-        if epoch_len > 1 {
+        if mem.epoch_open() {
             t = mem.end_epoch(t).expect("final epoch");
         }
         let s = mem.stats();

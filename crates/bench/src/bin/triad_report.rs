@@ -16,9 +16,13 @@
 //! seeded interleaving harness at 1–4 threads, with the concurrent
 //! crash-equivalence oracle checked on every run; their `recovered`
 //! column re-runs the cell with a mid-run per-thread crash injected
-//! and demands the oracle still pass. Emits `BENCH_pr9.json`
-//! (deterministic: running twice with the same seed is byte-identical)
-//! plus a human-readable table.
+//! and demands the oracle still pass. Three durability-mode rows
+//! (`mode-strict`, `mode-buffered`, `mode-inmemory`) run one tenant
+//! under each tier of the durability contract
+//! (`docs/durability-contract.md`), crash a shard with work still
+//! staged, and record what recovery measured against the tier's loss
+//! bound. Emits `BENCH_pr10.json` (deterministic: running twice with
+//! the same seed is byte-identical) plus a human-readable table.
 //!
 //! Since PR 6 the matrix runs over the batched write path: trace cells
 //! enable an 8-deep persist write-combining window
@@ -43,7 +47,9 @@ use triad_sim::config::SystemConfig;
 use triad_sim::stats::Histogram;
 use triad_workloads::kv::{generate_history, oracle_apply, KvFleet, KvSpec, Model};
 use triad_workloads::recov::StructureKind;
-use triad_workloads::service::{generate_requests, KvService, Request, Response, ServiceSpec};
+use triad_workloads::service::{
+    generate_requests, DurabilityMode, KvService, Request, Response, ServiceSpec,
+};
 use triad_workloads::{build_workload, run_recov_mix, RecovMixSpec, WorkloadEnv};
 
 /// The serving-layer extras a fleet row carries on top of the common
@@ -68,6 +74,17 @@ impl FleetExtra {
             self.commit_markers as f64 / self.mutations as f64
         }
     }
+}
+
+/// The durability-tier extras a mode row carries: which contract the
+/// tenant ran under and what the post-crash recovery report measured
+/// against it (`docs/durability-contract.md`, invariant D7).
+struct ModeExtra {
+    tier: &'static str,
+    barriers: u64,
+    mutations_lost: u64,
+    loss_bound: Option<u64>,
+    within_bound: bool,
 }
 
 /// The lock-free-structure extras a recov row carries: thread count,
@@ -96,6 +113,8 @@ struct Cell {
     recovery_ns: u64,
     /// `Some` on the serving-fleet rows only.
     fleet: Option<FleetExtra>,
+    /// `Some` on the durability-mode rows only.
+    mode: Option<ModeExtra>,
     /// `Some` on the recov lock-free-structure rows only.
     recov: Option<RecovExtra>,
 }
@@ -162,6 +181,7 @@ fn run_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u64) 
         recovery_blocks_read: report.persistent_blocks_read + report.non_persistent_blocks_read,
         recovery_ns: report.estimated_duration.as_ns(),
         fleet: None,
+        mode: None,
         recov: None,
     }
 }
@@ -232,6 +252,7 @@ fn run_kv_cell(workload: &'static str, scheme: PersistScheme, ops: u64, seed: u6
         recovery_blocks_read,
         recovery_ns,
         fleet: None,
+        mode: None,
         recov: None,
     }
 }
@@ -330,6 +351,108 @@ fn run_fleet_cell(
             commit_markers: groups.commit_markers,
             shed: groups.shed,
         }),
+        mode: None,
+        recov: None,
+    }
+}
+
+/// A durability-mode cell: one tenant driven through the sharded
+/// [`KvService`] under a single tier of the durability contract
+/// (`docs/durability-contract.md`), on the same seeded request
+/// schedule as the fleet rows. InMemory rows insert a barrier every
+/// fourth chunk so staged work keeps promoting instead of growing an
+/// unbounded overlay. After the run shard 0 is crashed *with work
+/// still staged* — no final flush or barrier — and recovered; the
+/// `recovered` column demands the recovery report name the tier the
+/// tenant actually ran under and measure a loss within that tier's
+/// bound (invariant D7), and the `durability` JSON object records the
+/// measurement.
+fn run_mode_cell(workload: &'static str, mode: DurabilityMode, ops: u64, seed: u64) -> Cell {
+    let spec = ServiceSpec {
+        shards: 2,
+        group_window: 8,
+        buckets: 256,
+        key_seed: seed,
+        config: Some(report_config()),
+        ..ServiceSpec::new(2)
+    };
+    let mut svc = KvService::create(&spec).expect("mode cell create");
+    svc.set_tenant_mode(1, mode);
+    let reqs = generate_requests(seed, ops as usize, 1024, (8, 64));
+    let mut latency = Histogram::new();
+    let mut barriers = 0u64;
+    let t0 = svc.max_shard_time();
+    for (n, chunk) in reqs.chunks(64).enumerate() {
+        let c0 = svc.max_shard_time();
+        svc.submit_as(1, chunk).expect("clean mode run");
+        if matches!(mode, DurabilityMode::InMemory) && n % 4 == 3 {
+            svc.barrier().expect("clean barrier");
+            barriers += 1;
+        }
+        latency.record(svc.max_shard_time().since(c0).as_ns() / chunk.len() as u64);
+    }
+    let elapsed = svc.max_shard_time().since(t0).as_secs_f64();
+    let (mut nvm_writes, mut pmw, mut emw, mut wpq) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..svc.shard_count() {
+        let mem = svc.shard_mem(i).expect("shard in range");
+        nvm_writes += mem.mem_stats().writes;
+        pmw += mem.stats().persist_metadata_writes();
+        emw += mem.stats().evict_metadata_writes();
+        wpq += mem.mem_stats().wpq_full_events;
+    }
+
+    svc.shard_mem_mut(0).expect("shard 0").crash();
+    let (recovered, recovery_blocks_read, recovery_ns, extra) = match svc.recover_shard(0) {
+        Ok(report) => {
+            let d = report
+                .durability
+                .expect("service recovery always carries a durability report");
+            (
+                report.persistent_recovered && d.mode == mode.tier_name() && d.within_bound(),
+                report.persistent_blocks_read + report.non_persistent_blocks_read,
+                report.estimated_duration.as_ns(),
+                ModeExtra {
+                    tier: d.mode,
+                    barriers,
+                    mutations_lost: d.mutations_lost,
+                    loss_bound: d.loss_bound,
+                    within_bound: d.within_bound(),
+                },
+            )
+        }
+        Err(_) => (
+            false,
+            0,
+            0,
+            ModeExtra {
+                tier: mode.tier_name(),
+                barriers,
+                mutations_lost: 0,
+                loss_bound: mode.loss_bound(),
+                within_bound: false,
+            },
+        ),
+    };
+
+    Cell {
+        workload,
+        scheme: spec.scheme,
+        ops: reqs.len() as u64,
+        throughput: if elapsed > 0.0 {
+            reqs.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency,
+        nvm_writes,
+        persist_metadata_writes: pmw,
+        evict_metadata_writes: emw,
+        wpq_full_events: wpq,
+        recovered,
+        recovery_blocks_read,
+        recovery_ns,
+        fleet: None,
+        mode: Some(extra),
         recov: None,
     }
 }
@@ -393,6 +516,7 @@ fn run_recov_cell(
         recovery_blocks_read: 0,
         recovery_ns: 0,
         fleet: None,
+        mode: None,
         recov: Some(RecovExtra {
             threads: threads as u64,
             steps: out.steps,
@@ -469,6 +593,19 @@ fn render_json(cells: &[Cell], ops: u64, seed: u64, smoke: bool) -> String {
                 f.shed,
             );
         }
+        if let Some(m) = &c.mode {
+            let _ = write!(
+                out,
+                ", \"durability\": {{ \"tier\": \"{}\", \"barriers\": {}, \
+                 \"mutations_lost\": {}, \"loss_bound\": {}, \"within_bound\": {} }}",
+                m.tier,
+                m.barriers,
+                m.mutations_lost,
+                m.loss_bound
+                    .map_or_else(|| "null".to_string(), |b| b.to_string()),
+                m.within_bound,
+            );
+        }
         if let Some(r) = &c.recov {
             let _ = write!(
                 out,
@@ -513,7 +650,7 @@ fn print_table(cells: &[Cell]) {
 fn main() {
     let mut smoke = false;
     let mut ops: Option<u64> = None;
-    let mut out_path = String::from("BENCH_pr9.json");
+    let mut out_path = String::from("BENCH_pr10.json");
     let mut seed: u64 = 42;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -558,7 +695,7 @@ fn main() {
     };
     // Recov rows keep full depth even under --smoke (they are cheap,
     // and identical specs make the smoke rows exact replicas of the
-    // checked-in baseline rows, so the pr9 gate compares like for
+    // checked-in baseline rows, so the recov gate compares like for
     // like instead of different mix-amortization depths).
     let recov_ops = ops.unwrap_or(4000);
     let ops = ops.unwrap_or(if smoke { 800 } else { 4000 });
@@ -586,6 +723,19 @@ fn main() {
         ("fleet-nogc", 4, 1),
     ] {
         cells.push(run_fleet_cell(label, shards, window, ops, seed));
+    }
+
+    // The durability-mode rows run one tenant under each tier of the
+    // contract on a two-shard service, crash shard 0 with work still
+    // staged, and let recovery measure the loss against the tier's
+    // bound: the throughput spread is the price of each guarantee and
+    // the `durability` object is invariant D7 made observable.
+    for (label, mode) in [
+        ("mode-strict", DurabilityMode::Strict),
+        ("mode-buffered", DurabilityMode::buffered_default()),
+        ("mode-inmemory", DurabilityMode::InMemory),
+    ] {
+        cells.push(run_mode_cell(label, mode, ops, seed));
     }
 
     // The recov rows sweep thread count (not scheme) for the two

@@ -1746,8 +1746,7 @@ impl SecureMemory {
 
     /// Ends the current epoch: every deferred persist (latest value per
     /// block) becomes durable with its metadata before the returned
-    /// time. Returns `now` unchanged if no epoch was open (a documented
-    /// no-op, so unconditional `end_epoch` in cleanup paths is safe).
+    /// time.
     ///
     /// Under the atomic schemes with strict counters the boundary runs
     /// through the batched write path: members share one precomputed
@@ -1757,11 +1756,17 @@ impl SecureMemory {
     ///
     /// # Errors
     ///
-    /// Same classes as [`SecureMemory::persist_block`].
+    /// [`SecureMemoryError::EpochNotOpen`] if no epoch is open. This
+    /// used to be a silent no-op; it became a typed error when periodic
+    /// flush timers started issuing `end_epoch` on a schedule, where a
+    /// swallowed unbalanced close would mask a double-close bug.
+    /// Callers that legitimately may or may not hold an open epoch
+    /// should guard with [`SecureMemory::epoch_open`]. Otherwise the
+    /// same classes as [`SecureMemory::persist_block`].
     pub fn end_epoch(&mut self, now: Time) -> Result<Time> {
         self.check_running()?;
         let Some(pending) = self.epoch.take() else {
-            return Ok(now);
+            return Err(SecureMemoryError::EpochNotOpen);
         };
         self.stats.epochs += 1;
         // Deduplicate, keeping one flush per block (write combining —

@@ -46,7 +46,9 @@ pub use engine::{
     RegionHandle, Result, SecureHists, SecureMemory, SecureMemoryBuilder, SecureStats,
 };
 pub use error::{CrashHookKind, IntegrityKind, SecureMemoryError};
-pub use recovery::{CorruptRange, LogReplayStats, PinpointReport, RecoveryModel, RecoveryReport};
+pub use recovery::{
+    CorruptRange, DurabilityRecovery, LogReplayStats, PinpointReport, RecoveryModel, RecoveryReport,
+};
 pub use registers::{PersistentRegisters, StagedUpdate, StagedWrite};
 pub use scheme::{CounterPersistence, KeyPolicy, PersistScheme};
 pub use system::{CoreStats, System, SystemResult};

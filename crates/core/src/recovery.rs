@@ -52,6 +52,39 @@ impl LogReplayStats {
     }
 }
 
+/// What a durability-tiered application layer measured about its own
+/// state after recovery. Like [`LogReplayStats`], the engine never
+/// fills this in — the loss accounting belongs to whichever layer
+/// admitted the mutations (the `triad_workloads` serving front-end) —
+/// but it lives on the report so the one artifact a crash produces
+/// states the mode that governed the lost window and the measured loss
+/// against its contractual bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityRecovery {
+    /// The weakest durability tier that admitted mutations since the
+    /// last recovery (or barrier), e.g. `"strict"`, `"buffered"`,
+    /// `"in-memory"`. A string rather than the application's enum so
+    /// the engine crate does not depend upward.
+    pub mode: &'static str,
+    /// Admitted mutations the recovered state does not reflect
+    /// (rolled back by the crash).
+    pub mutations_lost: u64,
+    /// The contractual ceiling on `mutations_lost`: `Some(0)` for
+    /// strict, `Some(max_loss)` for buffered, `None` (unbounded until
+    /// the next barrier) for in-memory.
+    pub loss_bound: Option<u64>,
+}
+
+impl DurabilityRecovery {
+    /// Whether the measured loss respects the contractual bound.
+    pub fn within_bound(&self) -> bool {
+        match self.loss_bound {
+            Some(bound) => self.mutations_lost <= bound,
+            None => true,
+        }
+    }
+}
+
 /// Outcome of [`SecureMemory::recover`](crate::engine::SecureMemory::recover).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
@@ -80,6 +113,10 @@ pub struct RecoveryReport {
     /// recovery (`None` when no log replay ran; filled in by e.g.
     /// `triad_kv`'s store-open path).
     pub log_replay: Option<LogReplayStats>,
+    /// Durability-tier accounting for the recovered state (`None` when
+    /// no tiered layer was driving the engine; filled in by
+    /// `triad_workloads`' serving front-end).
+    pub durability: Option<DurabilityRecovery>,
 }
 
 /// The paper's recovery-time accounting: 100 ns to read one tree block

@@ -96,11 +96,19 @@ fn crash_inside_epoch_may_lose_its_persists_but_stays_consistent() {
 }
 
 #[test]
-fn end_epoch_without_begin_is_a_no_op() {
+fn end_epoch_without_begin_is_a_typed_error() {
     let mut m = build();
-    let t = m.end_epoch(Time::ZERO).unwrap();
-    assert_eq!(t, Time::ZERO);
+    assert_eq!(
+        m.end_epoch(Time::ZERO),
+        Err(triad_core::SecureMemoryError::EpochNotOpen)
+    );
+    // The unbalanced close changes nothing: no epoch is counted and
+    // the engine keeps running (callers may recover and continue).
     assert_eq!(m.stats().epochs, 0);
+    assert!(!m.epoch_open());
+    m.begin_epoch().unwrap();
+    m.end_epoch(Time::ZERO).unwrap();
+    assert_eq!(m.stats().epochs, 1);
 }
 
 #[test]

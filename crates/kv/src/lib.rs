@@ -57,10 +57,12 @@ use triad_core::SecureMemoryError;
 
 pub mod heap;
 pub mod log;
+pub mod mode;
 pub mod store;
 
 pub use heap::{HeapError, PersistentHeap};
 pub use log::RedoLog;
+pub use mode::DurabilityMode;
 pub use store::{recover_store, GroupReceipt, KvConfig, KvStats, KvStore};
 
 /// Errors of the KV store.
@@ -81,6 +83,13 @@ pub enum KvError {
     },
     /// A transaction exceeded the write-ahead-log capacity.
     LogFull,
+    /// A *single mutation*'s coalesced write set exceeds the
+    /// write-ahead-log capacity. Distinguished from [`KvError::LogFull`]
+    /// because the group-commit layer recovers from `LogFull` by
+    /// splitting the group in half and retrying — a split can never
+    /// shrink one mutation, so retrying is futile and the caller must
+    /// reject the request (or grow the log) instead.
+    GroupTooLarge,
     /// A fleet was asked for more shards than the directory supports.
     TooManyShards {
         /// The rejected shard count.
@@ -103,6 +112,12 @@ impl fmt::Display for KvError {
                 )
             }
             KvError::LogFull => write!(f, "transaction exceeds write-ahead-log capacity"),
+            KvError::GroupTooLarge => {
+                write!(
+                    f,
+                    "a single mutation exceeds write-ahead-log capacity; splitting cannot help"
+                )
+            }
             KvError::TooManyShards { requested, max } => {
                 write!(
                     f,
@@ -152,6 +167,13 @@ mod error_surface {
         use std::error::Error as _;
         assert!(KvError::NotAStore.to_string().contains("superblock"));
         assert!(KvError::LogFull.to_string().contains("log"));
+        // GroupTooLarge must stay distinguishable from LogFull: the
+        // group-commit splitter retries on one and rejects on the other.
+        assert_ne!(KvError::GroupTooLarge, KvError::LogFull);
+        assert!(KvError::GroupTooLarge
+            .to_string()
+            .contains("single mutation"));
+        assert!(KvError::GroupTooLarge.source().is_none());
         let e = KvError::ValueTooLarge {
             len: 9000,
             max: 512,

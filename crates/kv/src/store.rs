@@ -294,6 +294,17 @@ impl KvStore {
         &self.stats
     }
 
+    /// The sequence number the *next* committed transaction will take.
+    /// Monotone across commits and reconstructed by recovery as
+    /// `max committed seq + 1`, which is what makes it usable as a
+    /// commit frontier: a caller that records `next_seq` before a
+    /// group commit can tell, after a crash, whether that group's
+    /// marker persisted (the recovered store's `next_seq` moved past
+    /// the recorded value) or the group was rolled back.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Attaches a structured-event sink (see [`triad_sim::events`]).
     pub fn set_event_sink(&mut self, sink: SharedEventSink) {
         self.events = Some(sink);
@@ -489,8 +500,8 @@ impl KvStore {
         writes.push((haddr, hblock));
 
         let seq = self.next_seq;
-        self.next_seq += 1;
         self.log_txn(mem, seq, &writes)?;
+        self.next_seq += 1;
         self.apply_writes(mem, &writes)?;
         self.log.rewind();
         self.stats.puts += 1;
@@ -548,8 +559,8 @@ impl KvStore {
         let writes = [(haddr, hblock)];
 
         let seq = self.next_seq;
-        self.next_seq += 1;
         self.log_txn(mem, seq, &writes)?;
+        self.next_seq += 1;
         self.apply_writes(mem, &writes)?;
         self.log.rewind();
         self.stats.delete_hits += 1;
@@ -644,10 +655,14 @@ impl KvStore {
     /// # Errors
     ///
     /// [`KvError::ValueTooLarge`] per oversized value;
-    /// [`KvError::LogFull`] when the coalesced write set exceeds the
-    /// log (retry with a smaller group). Either way nothing was logged
-    /// or applied: failed groups only leak staged heap blocks, which
-    /// the bump allocator tolerates by design.
+    /// [`KvError::LogFull`] when the coalesced write set of a
+    /// multi-mutation group exceeds the log (retry with a smaller
+    /// group); [`KvError::GroupTooLarge`] when a *single* mutation's
+    /// write set overflows the log — splitting cannot shrink it, so
+    /// retrying is futile and the mutation must be rejected. Either
+    /// way nothing was logged or applied and the transaction sequence
+    /// number was not burned: failed groups only leak staged heap
+    /// blocks, which the bump allocator tolerates by design.
     pub fn apply_group(
         &mut self,
         mem: &mut SecureMemory,
@@ -686,8 +701,15 @@ impl KvStore {
             .map(|(addr, block)| (PhysAddr(*addr), *block))
             .collect();
         let seq = self.next_seq;
+        self.log_txn(mem, seq, &writes).map_err(|e| match e {
+            // A split retries halves of the group, but a single
+            // mutation has no halves: surface a non-retryable error.
+            KvError::LogFull if muts.len() == 1 => KvError::GroupTooLarge,
+            other => other,
+        })?;
+        // Burned only after the append succeeded, so a rejected group
+        // leaves no gap in the log's sequence numbering.
         self.next_seq += 1;
-        self.log_txn(mem, seq, &writes)?;
         self.apply_writes(mem, &writes)?;
         self.log.rewind();
         self.stats.puts += staged_puts;
@@ -1117,6 +1139,42 @@ mod tests {
         assert_eq!(kv.apply_group(&mut m, &ops).unwrap_err(), KvError::LogFull);
         // Nothing logged or applied: the store still works and holds
         // exactly the pre-group state.
+        assert_eq!(kv.scan(&mut m).unwrap(), vec![(1, b"keep".to_vec())]);
+        kv.put(&mut m, 2, b"after").unwrap();
+        assert_eq!(kv.get(&mut m, 2).unwrap().as_deref(), Some(&b"after"[..]));
+    }
+
+    #[test]
+    fn single_oversized_mutation_reports_group_too_large() {
+        let mut m = mem();
+        let mut kv = fresh(&mut m);
+        kv.put(&mut m, 1, b"keep").unwrap();
+        let seq_before = kv.next_seq();
+        // A single mutation cannot overflow through the public API
+        // (max_value_bytes is exactly tight against append_txn's
+        // capacity check), so shrink the log under the store to model
+        // a deployment whose WAL budget is smaller than its value
+        // budget. 4 blocks cannot hold even an empty-value put
+        // (entry + holder records = 2 writes = 5 log blocks).
+        let sb = m.read(kv.superblock()).unwrap();
+        let log_base = PhysAddr(read_u64(&sb, SB_LOG_BASE));
+        let full_log = std::mem::replace(&mut kv.log, RedoLog::new(log_base, 4));
+        let one = vec![(200u64, Some(Vec::new()))];
+        assert_eq!(
+            kv.apply_group(&mut m, &one).unwrap_err(),
+            KvError::GroupTooLarge,
+            "a singleton overflow is not retryable"
+        );
+        // A multi-mutation overflow stays the retryable LogFull — the
+        // splitter relies on the distinction.
+        let two = vec![(200u64, Some(Vec::new())), (201u64, Some(Vec::new()))];
+        assert_eq!(kv.apply_group(&mut m, &two).unwrap_err(), KvError::LogFull);
+        // Neither failure leaked state: no sequence number burned, no
+        // group counted, and the store serves cleanly once the real
+        // log is back (failed groups leak only staged heap blocks).
+        assert_eq!(kv.next_seq(), seq_before);
+        assert_eq!(kv.stats().group_commits, 0);
+        kv.log = full_log;
         assert_eq!(kv.scan(&mut m).unwrap(), vec![(1, b"keep".to_vec())]);
         kv.put(&mut m, 2, b"after").unwrap();
         assert_eq!(kv.get(&mut m, 2).unwrap().as_deref(), Some(&b"after"[..]));

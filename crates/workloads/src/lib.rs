@@ -50,8 +50,8 @@ pub use kv::{crash_equivalence_check, generate_history, KvFleet, KvMix, KvOp, Kv
 pub use mixes::{all_figure_workloads, build_workload, WorkloadEnv};
 pub use recov::{generate_recov_scripts, run_recov_mix, RecovMixResult, RecovMixSpec};
 pub use service::{
-    generate_requests, service_crash_equivalence_check, AdmissionPolicy, KvService, Request,
-    Response, ServiceSpec,
+    generate_requests, service_crash_equivalence_check, AdmissionPolicy, DurabilityMode, KvService,
+    Request, Response, ServiceSpec,
 };
 pub use spec::SpecWorkload;
 pub use traces::{DaxBench, PmdkKind, PmdkTrace};

@@ -29,27 +29,59 @@
 //!   walks lanes in shard-index order over ordered containers (the
 //!   `shard-safety/nondeterministic-merge` contract).
 //!
-//! Durability contract: when [`KvService::submit`] returns `Ok`, every
-//! admitted mutation of the batch is durable (each lane drains its
-//! pending group before returning). A crash mid-submit loses at most
-//! the interrupted group on the crashed shard — recovery lands on a
-//! group boundary, which the fleet crash sweep in
-//! `tests/property_crash.rs` checks at every persist boundary.
+//! # Durability tiers
+//!
+//! Every tenant is served under a [`DurabilityMode`]
+//! (`docs/durability-contract.md` freezes the guarantees as numbered
+//! invariants D1–D8):
+//!
+//! * **Strict** (the default, and the only behavior that existed
+//!   before tiers): when [`KvService::submit`] returns `Ok`, every
+//!   admitted mutation of the batch is durable (each lane drains its
+//!   pending group before returning). A crash mid-submit loses at
+//!   most the interrupted group on the crashed shard — recovery lands
+//!   on a group boundary, which the fleet crash sweep in
+//!   `tests/property_crash.rs` checks at every persist boundary.
+//! * **Buffered { flush_interval, max_loss }**: mutations are
+//!   acknowledged from a DRAM buffer that survives across submits and
+//!   group-commits when it reaches `max_loss` mutations or when
+//!   `flush_interval` of simulated time has passed since the buffer's
+//!   oldest mutation (checked at run boundaries — the group-fsync
+//!   analogue). A crash loses at most `max_loss` acknowledged
+//!   mutations.
+//! * **InMemory**: mutations live in a volatile per-shard overlay and
+//!   only reach NVM at an explicit [`KvService::barrier`]; a crash
+//!   rolls the tenant back to its last completed barrier.
+//!
+//! Reads see the youngest staged value by *tier precedence* (volatile
+//! over strict-pending over buffered over NVM). When tenants of
+//! different tiers mutate the *same* key, inter-tier ordering follows
+//! that precedence rather than admit order — the contract's
+//! invariants are stated per tier over its own keys.
+//!
+//! After a crash, [`KvService::recover_shard`] reports the weakest
+//! tier that acknowledged mutations since the last recovery and the
+//! measured loss (acknowledged mutations the recovered state does not
+//! reflect) as a [`triad_core::DurabilityRecovery`], so the bounded-
+//! loss invariant is asserted against a reported number.
 
 use std::collections::BTreeMap;
 
 use triad_core::{
-    CounterPersistence, PersistScheme, RecoveryReport, SecureMemory, SecureMemoryBuilder,
-    SecureMemoryError,
+    CounterPersistence, DurabilityRecovery, PersistScheme, RecoveryReport, SecureMemory,
+    SecureMemoryBuilder, SecureMemoryError,
 };
 use triad_crypto::SipHash24;
 use triad_kv::heap::PersistentHeap;
 use triad_kv::{KvConfig, KvError, KvStats, KvStore};
 use triad_sim::config::SystemConfig;
 use triad_sim::rng::SplitMix64;
+use triad_sim::time::Duration;
 use triad_sim::Time;
 
 use crate::kv::{value_bytes, MAX_SHARDS};
+
+pub use triad_kv::DurabilityMode;
 
 /// Per-shard reaction to WPQ saturation observed at flush time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,10 +125,15 @@ pub struct ServiceSpec {
     pub key_seed: u64,
     /// Engine geometry override (`None` = builder default).
     pub config: Option<SystemConfig>,
+    /// The durability tier tenants get unless overridden per tenant
+    /// via [`KvService::set_tenant_mode`]. Defaults to
+    /// [`DurabilityMode::Strict`] — exactly the pre-tier behavior.
+    pub durability: DurabilityMode,
 }
 
 impl ServiceSpec {
-    /// A serving-shaped default: TriadNVM-2, strict counters, window 8.
+    /// A serving-shaped default: TriadNVM-2, strict counters, window 8,
+    /// strict durability.
     pub fn new(shards: u64) -> Self {
         ServiceSpec {
             shards,
@@ -108,6 +145,7 @@ impl ServiceSpec {
             log_blocks: 64,
             key_seed: 1,
             config: None,
+            durability: DurabilityMode::Strict,
         }
     }
 }
@@ -214,16 +252,75 @@ enum LaneOutcome {
 struct ShardLane {
     mem: SecureMemory,
     store: KvStore,
-    /// Mutations staged since the last flush, in admit order.
+    /// Strict-tier mutations staged since the last flush, in admit
+    /// order. Always drained before a run returns (invariant D1).
     pending: Vec<(u64, Option<Vec<u8>>)>,
+    /// Buffered-tier mutations, in admit order. Survives across
+    /// submits — this backlog *is* the bounded loss window.
+    buffered: Vec<(u64, Option<Vec<u8>>)>,
+    /// When the non-empty `buffered` backlog must flush at the next
+    /// run boundary even if short of `max_loss` (the group-fsync
+    /// analogue; `None` while the buffer is empty).
+    buffered_deadline: Option<Time>,
+    /// InMemory-tier overlay: youngest mutation per key, never logged
+    /// or persisted until a [`KvService::barrier`] promotes it.
+    volatile: BTreeMap<u64, Option<Vec<u8>>>,
     /// Current flush threshold (Delay adapts it).
     window: usize,
     /// The configured threshold Delay decays back to.
     base_window: usize,
+    /// Consecutive clean (zero wpq_full_events delta) flushes — the
+    /// Delay hysteresis counter; the window only decays after
+    /// [`DELAY_DECAY_STREAK`] clean flushes in a row.
+    clean_streak: u64,
     /// Mutations still to reject in the current Shed cooldown.
     shed_remaining: u64,
     policy: AdmissionPolicy,
     groups: GroupStats,
+    /// Durable-tier (Strict + Buffered) mutations acknowledged to
+    /// clients since the last recovery — i.e. counted only when the
+    /// run that admitted them completed.
+    acked_admitted: u64,
+    /// Mutations whose group commit is known durable (marker
+    /// persisted), including in-flight groups resolved at recovery.
+    durable: u64,
+    /// InMemory-tier mutations acknowledged since the last completed
+    /// barrier (each admit counts once; barrier promotion re-counts
+    /// the overlay's distinct keys into `acked_admitted`).
+    volatile_since_barrier: u64,
+    /// `(expected_seq, ops)` of a group commit in flight when a crash
+    /// fired; resolved against the recovered store's `next_seq` to
+    /// decide whether its marker persisted.
+    in_flight: Option<(u64, u64)>,
+    /// The weakest tier that acknowledged mutations since the last
+    /// recovery — what [`DurabilityRecovery::mode`] reports.
+    weakest: Option<DurabilityMode>,
+}
+
+/// Clean flushes in a row before a Delay-widened window decays one
+/// step. One clean flush must NOT decay (a 1,0,1,0… pressure pattern
+/// would flap the window every flush); two in a row is the smallest
+/// hysteresis that kills the oscillation.
+const DELAY_DECAY_STREAK: u64 = 2;
+
+/// Picks the weaker of the current weakest tier and a newly observed
+/// one (same tier: the larger loss bound is the weaker promise).
+fn weaken(current: &mut Option<DurabilityMode>, observed: DurabilityMode) {
+    let Some(cur) = *current else {
+        *current = Some(observed);
+        return;
+    };
+    let replace = if observed.weaker_or_equal(cur) && cur.weaker_or_equal(observed) {
+        matches!(
+            (observed.loss_bound(), cur.loss_bound()),
+            (Some(a), Some(b)) if a > b
+        )
+    } else {
+        observed.weaker_or_equal(cur)
+    };
+    if replace {
+        *current = Some(observed);
+    }
 }
 
 impl ShardLane {
@@ -242,8 +339,16 @@ impl ShardLane {
 
     fn flush_muts(&mut self, mut muts: Vec<(u64, Option<Vec<u8>>)>) -> Result<(), KvError> {
         let before = self.mem.mem_stats().wpq_full_events;
+        // Record the commit frontier before the group goes down: if a
+        // crash fires inside apply_group, recovery compares the
+        // recovered store's next_seq against this to decide whether
+        // the group's marker persisted (it moved past) or the whole
+        // group rolled back.
+        self.in_flight = Some((self.store.next_seq(), muts.len() as u64));
         match self.store.apply_group(&mut self.mem, &muts) {
             Ok(receipt) => {
+                self.in_flight = None;
+                self.durable += muts.len() as u64;
                 self.groups.flushes += 1;
                 self.groups.ops += receipt.ops;
                 self.groups.log_records += receipt.log_records;
@@ -253,18 +358,67 @@ impl ShardLane {
                 Ok(())
             }
             Err(KvError::LogFull) if muts.len() > 1 => {
+                self.in_flight = None;
                 let tail = muts.split_off(muts.len() / 2);
                 self.flush_muts(muts)?;
                 self.flush_muts(tail)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                // Only a crash leaves the outcome genuinely unresolved;
+                // every other failure means nothing was committed.
+                if !matches!(e, KvError::Memory(SecureMemoryError::NeedsRecovery)) {
+                    self.in_flight = None;
+                }
+                Err(e)
+            }
         }
+    }
+
+    /// Flushes the Buffered-tier backlog as one group commit and
+    /// disarms its deadline timer.
+    fn flush_buffered(&mut self) -> Result<(), KvError> {
+        self.buffered_deadline = None;
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let muts = std::mem::take(&mut self.buffered);
+        self.flush_muts(muts)
+    }
+
+    /// The Buffered flush-interval timer, checked at run boundaries
+    /// (the lane's flush opportunities): a backlog whose deadline has
+    /// passed on this shard's simulated clock is flushed now.
+    fn check_buffer_timer(&mut self) -> Result<(), KvError> {
+        if matches!(self.buffered_deadline, Some(d) if self.mem.now() >= d) {
+            self.flush_buffered()?;
+        }
+        Ok(())
+    }
+
+    /// Admits one InMemory-tier mutation into the volatile overlay.
+    /// This path must stay free of persist effects — no log append, no
+    /// commit marker, no data persist — which is exactly what the
+    /// `durability-contract` lint checks for `volatile`-named fns
+    /// (invariant D8).
+    fn stage_volatile(&mut self, key: u64, value: Option<Vec<u8>>) {
+        self.volatile.insert(key, value);
     }
 
     /// Admission-control reaction to one flush's `wpq_full_events`
     /// delta. Pure state transition — unit-testable without having to
     /// provoke real WPQ saturation.
+    ///
+    /// Delay widens immediately on pressure but decays only after
+    /// [`DELAY_DECAY_STREAK`] consecutive clean flushes: with an
+    /// immediate decay, a load that saturates every other flush
+    /// (delta 1,0,1,0,…) would flap the window between two sizes on
+    /// every single flush instead of holding the widened one.
     fn note_flush_pressure(&mut self, wpq_full_delta: u64) {
+        if wpq_full_delta > 0 {
+            self.clean_streak = 0;
+        } else {
+            self.clean_streak += 1;
+        }
         match self.policy {
             AdmissionPolicy::Open => {}
             AdmissionPolicy::Shed { cooldown } => {
@@ -275,28 +429,48 @@ impl ShardLane {
             AdmissionPolicy::Delay { max_window } => {
                 if wpq_full_delta > 0 {
                     self.window = (self.window.saturating_mul(2)).min(max_window.max(1));
-                } else if self.window > self.base_window {
+                } else if self.window > self.base_window && self.clean_streak >= DELAY_DECAY_STREAK
+                {
                     self.window = (self.window / 2).max(self.base_window);
+                    self.clean_streak = 0;
                 }
             }
         }
     }
 
-    /// The value `key` would read right now: the youngest pending
-    /// mutation wins over the durable store.
-    fn pending_lookup(&self, key: u64) -> Option<Option<Vec<u8>>> {
-        self.pending
+    /// The value `key` would read right now, by tier precedence:
+    /// volatile overlay, then strict-pending (youngest first), then
+    /// the buffered backlog (youngest first), then the durable store.
+    fn staged_lookup(&self, key: u64) -> Option<Option<Vec<u8>>> {
+        if let Some(v) = self.volatile.get(&key) {
+            return Some(v.clone());
+        }
+        if let Some((_, v)) = self.pending.iter().rev().find(|(k, _)| *k == key) {
+            return Some(v.clone());
+        }
+        self.buffered
             .iter()
             .rev()
             .find(|(k, _)| *k == key)
             .map(|(_, v)| v.clone())
     }
 
-    /// Runs this lane's slice of a submit batch, in order, flushing on
-    /// window boundaries, scans, and at the end (the submit durability
-    /// contract).
-    fn run(&mut self, ops: &[LaneOp]) -> Result<Vec<(usize, LaneOutcome)>, KvError> {
+    /// Runs this lane's slice of a submit batch under `mode`, in
+    /// order, flushing on window boundaries, scans, and at the end
+    /// (the Strict submit durability contract). Buffered-tier
+    /// acknowledgements and InMemory admissions are folded into the
+    /// loss ledger only when the whole run completes — a mutation in
+    /// a run that dies on a crash was never acknowledged to a client,
+    /// so it cannot count as "lost".
+    fn run(
+        &mut self,
+        ops: &[LaneOp],
+        mode: DurabilityMode,
+    ) -> Result<Vec<(usize, LaneOutcome)>, KvError> {
+        self.check_buffer_timer()?;
         let mut out = Vec::with_capacity(ops.len());
+        let mut batch_admitted = 0u64;
+        let mut batch_volatile = 0u64;
         for op in ops {
             match op {
                 LaneOp::Mutate { idx, key, value } => {
@@ -306,27 +480,95 @@ impl ShardLane {
                         out.push((*idx, LaneOutcome::Shed));
                         continue;
                     }
-                    self.pending.push((*key, value.clone()));
-                    out.push((*idx, LaneOutcome::Done));
-                    if self.pending.len() >= self.window {
-                        self.flush()?;
+                    match mode {
+                        DurabilityMode::InMemory => {
+                            self.stage_volatile(*key, value.clone());
+                            batch_volatile += 1;
+                            out.push((*idx, LaneOutcome::Done));
+                        }
+                        DurabilityMode::Buffered {
+                            flush_interval,
+                            max_loss,
+                        } => {
+                            if self.buffered.is_empty() {
+                                self.buffered_deadline =
+                                    Some(self.mem.now() + Duration::from_ns(flush_interval));
+                            }
+                            self.buffered.push((*key, value.clone()));
+                            batch_admitted += 1;
+                            out.push((*idx, LaneOutcome::Done));
+                            // Flush strictly before the backlog could
+                            // exceed the contractual loss bound.
+                            if self.buffered.len() as u64 >= max_loss.max(1) {
+                                self.flush_buffered()?;
+                            }
+                        }
+                        DurabilityMode::Strict => {
+                            self.pending.push((*key, value.clone()));
+                            batch_admitted += 1;
+                            out.push((*idx, LaneOutcome::Done));
+                            if self.pending.len() >= self.window {
+                                self.flush()?;
+                            }
+                        }
                     }
                 }
                 LaneOp::Get { idx, key } => {
-                    let value = match self.pending_lookup(*key) {
+                    let value = match self.staged_lookup(*key) {
                         Some(staged) => staged,
                         None => self.store.get(&mut self.mem, *key)?,
                     };
                     out.push((*idx, LaneOutcome::Got(value)));
                 }
                 LaneOp::Scan { idx } => {
+                    // A scan is a durability barrier for the durable
+                    // tiers (drains pending + buffered) and reads the
+                    // volatile overlay on top without promoting it.
                     self.flush()?;
-                    out.push((*idx, LaneOutcome::Scanned(self.store.scan(&mut self.mem)?)));
+                    self.flush_buffered()?;
+                    let mut pairs: BTreeMap<u64, Vec<u8>> =
+                        self.store.scan(&mut self.mem)?.into_iter().collect();
+                    for (k, v) in &self.volatile {
+                        match v {
+                            Some(val) => {
+                                pairs.insert(*k, val.clone());
+                            }
+                            None => {
+                                pairs.remove(k);
+                            }
+                        }
+                    }
+                    out.push((*idx, LaneOutcome::Scanned(pairs.into_iter().collect())));
                 }
             }
         }
         self.flush()?;
+        self.check_buffer_timer()?;
+        if batch_admitted > 0 || batch_volatile > 0 {
+            weaken(&mut self.weakest, mode);
+        }
+        self.acked_admitted += batch_admitted;
+        self.volatile_since_barrier += batch_volatile;
         Ok(out)
+    }
+
+    /// The explicit Strict barrier: drains every durable-tier buffer,
+    /// then promotes the volatile overlay to NVM as one group commit.
+    /// On `Ok` the lane holds no staged state at all — every
+    /// acknowledged mutation is durable, whatever tier admitted it.
+    fn barrier(&mut self) -> Result<(), KvError> {
+        self.flush()?;
+        self.flush_buffered()?;
+        let muts: Vec<(u64, Option<Vec<u8>>)> =
+            std::mem::take(&mut self.volatile).into_iter().collect();
+        self.volatile_since_barrier = 0;
+        if muts.is_empty() {
+            return Ok(());
+        }
+        // Promotion counts the overlay's distinct keys: an overwritten
+        // duplicate neither survives nor counts as lost.
+        self.acked_admitted += muts.len() as u64;
+        self.flush_muts(muts)
     }
 }
 
@@ -336,6 +578,11 @@ impl ShardLane {
 pub struct KvService {
     lanes: Vec<ShardLane>,
     threaded: bool,
+    /// The spec's default tier for tenants without an override.
+    default_mode: DurabilityMode,
+    /// Per-tenant durability overrides (ordered, so any iteration is
+    /// deterministic).
+    tenant_modes: BTreeMap<u64, DurabilityMode>,
 }
 
 impl KvService {
@@ -360,6 +607,8 @@ impl KvService {
         Ok(KvService {
             lanes,
             threaded: true,
+            default_mode: spec.durability,
+            tenant_modes: BTreeMap::new(),
         })
     }
 
@@ -391,11 +640,20 @@ impl KvService {
             mem,
             store,
             pending: Vec::new(),
+            buffered: Vec::new(),
+            buffered_deadline: None,
+            volatile: BTreeMap::new(),
             window,
             base_window: window,
+            clean_streak: 0,
             shed_remaining: 0,
             policy: spec.admission,
             groups: GroupStats::default(),
+            acked_admitted: 0,
+            durable: 0,
+            volatile_since_barrier: 0,
+            in_flight: None,
+            weakest: None,
         })
     }
 
@@ -418,17 +676,47 @@ impl KvService {
         (h % self.lanes.len().max(1) as u64) as usize
     }
 
-    /// Serves one batch: partitions the requests across shards in
-    /// submit order, runs every lane (threaded or serial), and merges
-    /// the responses back into submit order. On `Ok`, every admitted
-    /// mutation is durable.
+    /// Sets the durability tier tenant `tenant` submits under,
+    /// overriding the spec default. Takes effect from the next
+    /// [`KvService::submit_as`] — mutations already staged keep the
+    /// tier they were admitted under.
+    pub fn set_tenant_mode(&mut self, tenant: u64, mode: DurabilityMode) {
+        self.tenant_modes.insert(tenant, mode);
+    }
+
+    /// The durability tier `tenant` currently submits under.
+    pub fn tenant_mode(&self, tenant: u64) -> DurabilityMode {
+        self.tenant_modes
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.default_mode)
+    }
+
+    /// Serves one batch for the default tenant (tenant 0). On `Ok`,
+    /// every admitted mutation carries the default tenant's tier
+    /// guarantee — under the default Strict spec this is exactly the
+    /// pre-tier contract: every admitted mutation is durable.
+    ///
+    /// # Errors
+    ///
+    /// See [`KvService::submit_as`].
+    pub fn submit(&mut self, reqs: &[Request]) -> Result<Vec<Response>, KvError> {
+        self.submit_as(0, reqs)
+    }
+
+    /// Serves one batch for `tenant`: partitions the requests across
+    /// shards in submit order, runs every lane (threaded or serial)
+    /// under the tenant's [`DurabilityMode`], and merges the responses
+    /// back into submit order. What `Ok` promises depends on the
+    /// tier — see the module docs and `docs/durability-contract.md`.
     ///
     /// # Errors
     ///
     /// The first failing lane's error, in shard order (an injected
     /// crash surfaces as `KvError::Memory(NeedsRecovery)`; see
     /// [`KvService::recover_shard`]).
-    pub fn submit(&mut self, reqs: &[Request]) -> Result<Vec<Response>, KvError> {
+    pub fn submit_as(&mut self, tenant: u64, reqs: &[Request]) -> Result<Vec<Response>, KvError> {
+        let mode = self.tenant_mode(tenant);
         let n = self.lanes.len();
         let mut per_lane: Vec<Vec<LaneOp>> = (0..n).map(|_| Vec::new()).collect();
         for (idx, req) in reqs.iter().enumerate() {
@@ -460,7 +748,7 @@ impl KvService {
                     .lanes
                     .iter_mut()
                     .zip(per_lane.iter())
-                    .map(|(lane, ops)| s.spawn(move || lane.run(ops)))
+                    .map(|(lane, ops)| s.spawn(move || lane.run(ops, mode)))
                     .collect();
                 handles
                     .into_iter()
@@ -474,7 +762,7 @@ impl KvService {
             self.lanes
                 .iter_mut()
                 .zip(per_lane.iter())
-                .map(|(lane, ops)| lane.run(ops))
+                .map(|(lane, ops)| lane.run(ops, mode))
                 .collect()
         };
 
@@ -578,11 +866,33 @@ impl KvService {
         self.lanes.get_mut(i).map(|l| &mut l.store)
     }
 
+    /// The explicit Strict barrier: every lane drains its durable-tier
+    /// buffers and promotes its volatile overlay to NVM through group
+    /// commits. On `Ok`, every acknowledged mutation of every tier is
+    /// durable — the InMemory tier's recovery floor advances to here
+    /// (invariant D5).
+    ///
+    /// # Errors
+    ///
+    /// The first failing lane's error, in shard order.
+    pub fn barrier(&mut self) -> Result<(), KvError> {
+        for lane in self.lanes.iter_mut() {
+            lane.barrier()?;
+        }
+        Ok(())
+    }
+
     /// Recovers shard `i` after a crash: engine recovery + WAL replay
-    /// via [`triad_kv::recover_store`]. Pending (unflushed) mutations
-    /// of the crashed shard are discarded — they were never durable.
-    /// The shard's store counters restart from zero, as after any
-    /// reopen.
+    /// via [`triad_kv::recover_store`]. Staged state of every tier
+    /// (strict pending, buffered backlog, volatile overlay) is
+    /// discarded — it was never durable. The shard's store counters
+    /// restart from zero, as after any reopen.
+    ///
+    /// The report's `durability` field states the weakest tier that
+    /// acknowledged mutations since the last recovery, the measured
+    /// loss (acknowledged mutations the recovered state does not
+    /// reflect, resolved against the interrupted group's commit
+    /// marker), and that tier's contractual loss bound (invariant D7).
     ///
     /// # Errors
     ///
@@ -591,10 +901,42 @@ impl KvService {
     pub fn recover_shard(&mut self, i: usize) -> Result<RecoveryReport, KvError> {
         let lane = self.lanes.get_mut(i).ok_or(KvError::NotAStore)?;
         lane.pending.clear();
+        lane.buffered.clear();
+        lane.buffered_deadline = None;
+        lane.volatile.clear();
         lane.shed_remaining = 0;
         lane.window = lane.base_window;
-        let (store, report) = triad_kv::recover_store(&mut lane.mem)?;
+        lane.clean_streak = 0;
+        let (store, mut report) = triad_kv::recover_store(&mut lane.mem)?;
         lane.store = store;
+        // Resolve the interrupted group: its marker persisted iff log
+        // replay applied a transaction AND the recovered frontier is
+        // exactly one past the seq the group committed under. The
+        // frontier alone is not a witness — replay fences `next_seq`
+        // above *uncommitted* torn records too, so a group whose
+        // records persisted but whose marker did not still moves the
+        // frontier past `expected_seq`. Conversely, replay re-applying
+        // the *previous* group's stale records (crash before the new
+        // group wrote anything) lands the frontier at `expected_seq`,
+        // not past it, so it earns no credit either.
+        if let Some((expected_seq, ops)) = lane.in_flight.take() {
+            let applied = report.log_replay.map_or(0, |r| r.txns_applied);
+            if applied > 0 && lane.store.next_seq() == expected_seq + 1 {
+                lane.durable += ops;
+            }
+        }
+        let mode = lane.weakest.unwrap_or(DurabilityMode::Strict);
+        report.durability = Some(DurabilityRecovery {
+            mode: mode.tier_name(),
+            mutations_lost: lane.acked_admitted.saturating_sub(lane.durable)
+                + lane.volatile_since_barrier,
+            loss_bound: mode.loss_bound(),
+        });
+        // The recovered store is the new contract baseline.
+        lane.acked_admitted = 0;
+        lane.durable = 0;
+        lane.volatile_since_barrier = 0;
+        lane.weakest = None;
         Ok(report)
     }
 }
@@ -954,11 +1296,55 @@ mod tests {
         lane.note_flush_pressure(9);
         assert_eq!(lane.window, 16, "capped at max_window");
         lane.note_flush_pressure(0);
-        assert_eq!(lane.window, 8, "clean flush decays");
+        assert_eq!(
+            lane.window, 16,
+            "one clean flush must not decay (hysteresis)"
+        );
+        lane.note_flush_pressure(0);
+        assert_eq!(
+            lane.window, 8,
+            "two consecutive clean flushes decay one step"
+        );
+        lane.note_flush_pressure(0);
+        assert_eq!(lane.window, 8);
         lane.note_flush_pressure(0);
         assert_eq!(lane.window, 4);
         lane.note_flush_pressure(0);
+        lane.note_flush_pressure(0);
         assert_eq!(lane.window, 4, "never below the configured window");
+    }
+
+    #[test]
+    fn delay_window_holds_steady_under_oscillating_pressure() {
+        // The boundary case the hysteresis exists for: a load that
+        // saturates every other flush (deltas 1,0,1,0,…). Without the
+        // clean-streak requirement the window halved on every clean
+        // flush and re-doubled on the next saturated one — a fresh
+        // admission decision per flush. With it, the window rises to
+        // the cap and holds.
+        let mut svc = KvService::create(&ServiceSpec {
+            shards: 1,
+            group_window: 4,
+            admission: AdmissionPolicy::Delay { max_window: 16 },
+            ..spec(1)
+        })
+        .unwrap();
+        let lane = &mut svc.lanes[0];
+        for _ in 0..4 {
+            lane.note_flush_pressure(1);
+            lane.note_flush_pressure(0);
+        }
+        assert_eq!(lane.window, 16, "oscillation widens to the cap");
+        for _ in 0..4 {
+            let before = lane.window;
+            lane.note_flush_pressure(1);
+            lane.note_flush_pressure(0);
+            assert_eq!(lane.window, before, "window must not flap under 1,0 deltas");
+        }
+        // A pressure episode that genuinely ends decays normally.
+        lane.note_flush_pressure(0);
+        lane.note_flush_pressure(0);
+        assert_eq!(lane.window, 8);
     }
 
     #[test]
@@ -1042,6 +1428,207 @@ mod tests {
         // schedule).
         let boundaries = service_crash_equivalence_check(&spec(2), 2, 4, 99).unwrap();
         assert!(boundaries > 0, "schedule must cross persist boundaries");
+    }
+
+    fn puts(range: std::ops::Range<u64>) -> Vec<Request> {
+        range
+            .map(|k| Request::Put {
+                key: k,
+                value: vec![k as u8; 8],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tenant_modes_default_and_override() {
+        let mut svc = KvService::create(&spec(1)).unwrap();
+        assert_eq!(svc.tenant_mode(0), DurabilityMode::Strict);
+        svc.set_tenant_mode(7, DurabilityMode::InMemory);
+        assert_eq!(svc.tenant_mode(7), DurabilityMode::InMemory);
+        assert_eq!(
+            svc.tenant_mode(8),
+            DurabilityMode::Strict,
+            "others keep the default"
+        );
+    }
+
+    #[test]
+    fn buffered_mode_acknowledges_from_dram_and_flushes_at_max_loss() {
+        let mut svc = KvService::create(&spec(1)).unwrap();
+        svc.set_tenant_mode(
+            1,
+            DurabilityMode::Buffered {
+                flush_interval: u64::MAX / 2_000, // effectively never
+                max_loss: 4,
+            },
+        );
+        // Three mutations: acknowledged, readable, NOT yet durable.
+        let resps = svc.submit_as(1, &puts(0..3)).unwrap();
+        assert!(resps.iter().all(|r| *r == Response::Done));
+        assert!(
+            svc.dump().unwrap().is_empty(),
+            "backlog must not be on NVM yet"
+        );
+        let read = svc.submit_as(1, &[Request::Get { key: 2 }]).unwrap();
+        assert_eq!(read, vec![Response::Value(Some(vec![2u8; 8]))]);
+        // The fourth reaches max_loss: the whole backlog group-commits.
+        svc.submit_as(1, &puts(3..4)).unwrap();
+        assert_eq!(
+            svc.dump().unwrap().len(),
+            4,
+            "backlog flushed at the loss bound"
+        );
+        // One group, one marker — buffering amortizes like group commit.
+        assert_eq!(svc.merged_group_stats().commit_markers, 1);
+    }
+
+    #[test]
+    fn buffered_timer_flushes_idle_backlog_at_a_run_boundary() {
+        let mut svc = KvService::create(&spec(1)).unwrap();
+        svc.set_tenant_mode(
+            1,
+            DurabilityMode::Buffered {
+                flush_interval: 1, // 1 ns: expires as soon as the clock moves
+                max_loss: 100,
+            },
+        );
+        svc.submit_as(1, &puts(0..2)).unwrap();
+        // Buffered staging touches no memory, so the shard clock has
+        // not moved and the backlog legitimately sits in DRAM.
+        assert!(svc.dump().unwrap().is_empty());
+        // Unrelated store work advances the shard's simulated clock
+        // past the deadline; the run-boundary timer check flushes.
+        svc.submit_as(0, &puts(500..502)).unwrap();
+        let state = svc.dump().unwrap();
+        assert!(
+            state.contains_key(&0) && state.contains_key(&1),
+            "expired backlog must be flushed at the next run boundary: {state:?}"
+        );
+    }
+
+    #[test]
+    fn inmemory_mode_is_volatile_until_a_barrier() {
+        let mut svc = KvService::create(&spec(2)).unwrap();
+        svc.set_tenant_mode(9, DurabilityMode::InMemory);
+        let resps = svc.submit_as(9, &puts(0..6)).unwrap();
+        assert!(resps.iter().all(|r| *r == Response::Done));
+        assert!(
+            svc.dump().unwrap().is_empty(),
+            "volatile overlay must not persist"
+        );
+        assert_eq!(
+            svc.total_persists(),
+            {
+                let mut fresh = KvService::create(&spec(2)).unwrap();
+                fresh.submit_as(9, &[]).unwrap();
+                fresh.total_persists()
+            },
+            "InMemory admission makes no durability points"
+        );
+        // Reads and scans see the overlay.
+        let read = svc
+            .submit_as(9, &[Request::Get { key: 3 }, Request::Scan])
+            .unwrap();
+        assert_eq!(read[0], Response::Value(Some(vec![3u8; 8])));
+        let Response::Scanned(pairs) = &read[1] else {
+            panic!("scan response expected, got {read:?}");
+        };
+        assert_eq!(pairs.len(), 6, "scan reads through the overlay");
+        // The barrier promotes the overlay; state is now durable.
+        svc.barrier().unwrap();
+        assert_eq!(svc.dump().unwrap().len(), 6);
+        // Deletes staged volatile win over promoted state.
+        svc.submit_as(9, &[Request::Delete { key: 3 }]).unwrap();
+        let read = svc.submit_as(9, &[Request::Get { key: 3 }]).unwrap();
+        assert_eq!(read, vec![Response::Value(None)]);
+        assert_eq!(
+            svc.dump().unwrap().len(),
+            6,
+            "delete volatile until the barrier"
+        );
+        svc.barrier().unwrap();
+        assert_eq!(svc.dump().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn recovery_report_states_mode_and_loss_for_all_three_tiers() {
+        // Strict: everything acknowledged was durable — zero loss.
+        let mut svc = KvService::create(&spec(1)).unwrap();
+        svc.submit(&puts(0..5)).unwrap();
+        svc.shard_mem_mut(0).unwrap().crash();
+        let d = svc.recover_shard(0).unwrap().durability.unwrap();
+        assert_eq!(
+            (d.mode, d.mutations_lost, d.loss_bound),
+            ("strict", 0, Some(0))
+        );
+        assert!(d.within_bound());
+
+        // Buffered: the acknowledged backlog is lost, within max_loss.
+        let mut svc = KvService::create(&spec(1)).unwrap();
+        svc.set_tenant_mode(
+            1,
+            DurabilityMode::Buffered {
+                flush_interval: u64::MAX / 2_000,
+                max_loss: 8,
+            },
+        );
+        svc.submit_as(1, &puts(0..3)).unwrap();
+        svc.shard_mem_mut(0).unwrap().crash();
+        let d = svc.recover_shard(0).unwrap().durability.unwrap();
+        assert_eq!(
+            (d.mode, d.mutations_lost, d.loss_bound),
+            ("buffered", 3, Some(8))
+        );
+        assert!(d.within_bound());
+
+        // InMemory: the whole overlay since the last barrier is lost,
+        // and the bound is reported as unbounded.
+        let mut svc = KvService::create(&spec(1)).unwrap();
+        svc.set_tenant_mode(9, DurabilityMode::InMemory);
+        svc.submit_as(9, &puts(0..4)).unwrap();
+        svc.shard_mem_mut(0).unwrap().crash();
+        let d = svc.recover_shard(0).unwrap().durability.unwrap();
+        assert_eq!(
+            (d.mode, d.mutations_lost, d.loss_bound),
+            ("in-memory", 4, None)
+        );
+        assert!(d.within_bound());
+
+        // After recovery the ledger restarts: a clean strict run and a
+        // second crash report zero loss under the strict tier again.
+        svc.submit(&puts(100..102)).unwrap();
+        svc.shard_mem_mut(0).unwrap().crash();
+        let d = svc.recover_shard(0).unwrap().durability.unwrap();
+        assert_eq!(
+            (d.mode, d.mutations_lost, d.loss_bound),
+            ("strict", 0, Some(0))
+        );
+    }
+
+    #[test]
+    fn mixed_tenants_share_one_fleet() {
+        // A zero-loss tenant and a bounded-loss tenant interleave on
+        // the same shards; each keeps its own contract.
+        let mut svc = KvService::create(&spec(2)).unwrap();
+        svc.set_tenant_mode(
+            2,
+            DurabilityMode::Buffered {
+                flush_interval: u64::MAX / 2_000,
+                max_loss: 64,
+            },
+        );
+        svc.submit(&puts(0..8)).unwrap(); // strict tenant: durable now
+        svc.submit_as(2, &puts(100..104)).unwrap(); // buffered: DRAM backlog
+        let durable = svc.dump().unwrap();
+        assert_eq!(
+            durable.len(),
+            8,
+            "strict keys durable, buffered backlog not"
+        );
+        assert!(durable.keys().all(|k| *k < 8));
+        // The barrier drains every tier.
+        svc.barrier().unwrap();
+        assert_eq!(svc.dump().unwrap().len(), 12);
     }
 
     #[test]

@@ -147,6 +147,9 @@ pub fn run_history(
                     crashed = true;
                     epoch_floor = None;
                 }
+                // Random histories close epochs they never opened;
+                // the typed rejection leaves the engine untouched.
+                Err(SecureMemoryError::EpochNotOpen) => {}
                 Err(e) => return Err(format!("{e}")),
             },
             Op::Pressure { seed } => {
